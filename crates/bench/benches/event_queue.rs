@@ -1,0 +1,55 @@
+//! Micro-benchmarks for the discrete-event calendar: the hottest data
+//! structure in the simulator (every flit hop schedules two events).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lumen_desim::{EventQueue, Picos, Rng};
+use std::hint::black_box;
+
+fn schedule_pop_interleaved(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &pending in &[64usize, 1024, 16_384] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("hold_{pending}_schedule_pop"), |b| {
+            let mut rng = Rng::seed_from(7);
+            let mut q = EventQueue::with_capacity(pending + 1);
+            for i in 0..pending {
+                q.schedule(Picos::from_ps(rng.next_below(1_000_000)), i as u64);
+            }
+            let mut t = 1_000_000u64;
+            b.iter(|| {
+                t += 100;
+                q.schedule(Picos::from_ps(rng.next_below(1_000_000) + t), t);
+                black_box(q.pop());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn drain_ordered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_drain");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("drain_10k_random", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = Rng::seed_from(3);
+                let mut q = EventQueue::with_capacity(n as usize);
+                for i in 0..n {
+                    q.schedule(Picos::from_ps(rng.next_below(1 << 40)), i);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, schedule_pop_interleaved, drain_ordered);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Whole-system simulation throughput: cycles/second for the paper-scale
+//! 64-rack, 512-node network under load. This is the number that bounds
+//! how long the figure-reproduction sweeps take.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_core::prelude::*;
+use lumen_desim::{Picos, Rng};
+use std::hint::black_box;
+
+fn full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_system");
+    group.sample_size(10);
+    let cycles_per_iter = 2_000u64;
+    group.throughput(Throughput::Elements(cycles_per_iter));
+    for (name, rate, power_aware) in [
+        ("paper_light_pa", 1.25, true),
+        ("paper_medium_pa", 3.0, true),
+        ("paper_medium_baseline", 3.0, false),
+    ] {
+        group.bench_function(name, |b| {
+            let mut config = SystemConfig::paper_default();
+            config.power_aware = power_aware;
+            let source = Box::new(SyntheticSource::new(
+                &config.noc,
+                Pattern::Uniform,
+                RateProfile::Constant(rate),
+                PacketSize::Fixed(5),
+                Rng::seed_from(1),
+            ));
+            let mut engine = lumen_core::PowerAwareSim::build_engine(config, source, None);
+            let mut horizon = Picos::ZERO;
+            let step = Picos::from_ps(1600) * cycles_per_iter;
+            b.iter(|| {
+                horizon += step;
+                engine.run_until(horizon);
+                black_box(engine.model().cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_system);
+criterion_main!(benches);

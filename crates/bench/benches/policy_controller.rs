@@ -1,0 +1,61 @@
+//! Policy-layer micro-benchmarks: the per-window controller decision runs
+//! for all 1248 links every Tw cycles, so it must be trivially cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_desim::{ClockDomain, Picos, Rng};
+use lumen_opto::Gbps;
+use lumen_policy::{
+    LaserSourceController, LinkPolicyController, OpticalMode, PolicyConfig, TimingConfig,
+};
+use std::hint::black_box;
+
+fn controller_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("on_window_hold", |b| {
+        let config = PolicyConfig::paper_default();
+        let mut ctl = LinkPolicyController::new(&config, ClockDomain::router_core().period(), 3);
+        let mut now = Picos::ZERO;
+        b.iter(|| {
+            now += Picos::from_us(2);
+            // Utilization in the hold band: no transition machinery runs.
+            black_box(ctl.on_window(now, 0.5, 0.2))
+        });
+    });
+    group.bench_function("on_window_oscillating", |b| {
+        let config = PolicyConfig::paper_default();
+        let mut ctl = LinkPolicyController::new(&config, ClockDomain::router_core().period(), 3);
+        let mut now = Picos::ZERO;
+        let mut rng = Rng::seed_from(5);
+        b.iter(|| {
+            now += Picos::from_us(2);
+            let lu = rng.next_f64();
+            let out = ctl.on_window(now, lu, 0.2);
+            if out.is_some() {
+                ctl.transition_complete();
+            }
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+fn laser_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laser");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("note_and_decide", |b| {
+        let mut ctl =
+            LaserSourceController::new(OpticalMode::ThreeLevel, &TimingConfig::paper_default());
+        let mut now = Picos::ZERO;
+        let mut rng = Rng::seed_from(9);
+        b.iter(|| {
+            now += Picos::from_us(200);
+            ctl.note_rate(Gbps::from_gbps(3.0 + 7.0 * rng.next_f64()));
+            black_box(ctl.on_decision_period(now))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, controller_window, laser_controller);
+criterion_main!(benches);

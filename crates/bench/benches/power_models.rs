@@ -1,0 +1,66 @@
+//! Micro-benchmarks for the opto-electronic power models: these are
+//! evaluated on every link operating-point change, so they must stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_opto::link::OperatingPoint;
+use lumen_opto::modulator::MqwModulator;
+use lumen_opto::presets;
+use lumen_opto::sensitivity::SensitivityModel;
+use lumen_opto::vcsel::Vcsel;
+use lumen_opto::{Gbps, MicroWatts, MilliAmps, Volts};
+use std::hint::black_box;
+
+fn link_power_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_power");
+    group.throughput(Throughput::Elements(1));
+    let vcsel = presets::paper_vcsel_link();
+    let mqw = presets::paper_modulator_link();
+    let points: Vec<OperatingPoint> = (0..64)
+        .map(|i| OperatingPoint::paper_at_gbps(5.0 + 5.0 * (i as f64) / 63.0))
+        .collect();
+    group.bench_function("vcsel_link_power", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            black_box(vcsel.power(points[i]))
+        });
+    });
+    group.bench_function("mqw_link_power", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            black_box(mqw.power(points[i]))
+        });
+    });
+    group.bench_function("vcsel_link_breakdown", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            black_box(vcsel.breakdown(points[i]))
+        });
+    });
+    group.finish();
+}
+
+fn component_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("component_models");
+    group.throughput(Throughput::Elements(1));
+    let laser = Vcsel::oxide_aperture_10g();
+    group.bench_function("vcsel_electrical_power", |b| {
+        b.iter(|| black_box(laser.electrical_power(MilliAmps::from_ma(7.5))));
+    });
+    let modulator = MqwModulator::ingaas_10g();
+    group.bench_function("mqw_average_power", |b| {
+        b.iter(|| {
+            black_box(modulator.average_power(MicroWatts::from_uw(50.0), Volts::from_v(1.8)))
+        });
+    });
+    let sens = SensitivityModel::paper_default();
+    group.bench_function("ber_estimate", |b| {
+        b.iter(|| black_box(sens.ber(MicroWatts::from_uw(20.0), Gbps::from_gbps(7.0))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, link_power_eval, component_models);
+criterion_main!(benches);

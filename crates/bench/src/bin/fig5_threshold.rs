@@ -1,0 +1,56 @@
+//! Fig. 5(d,e,f) — sensitivity to the link-utilization thresholds.
+//!
+//! Uniform-random traffic at light / medium / heavy rates with the average
+//! threshold swept (TH − TL fixed at 0.1, as in the paper). Higher
+//! thresholds scale links down more aggressively: more power saved, more
+//! latency paid — except at light load (few transitions either way) and at
+//! saturation (queueing masks link delay).
+//!
+//! Run: `cargo run --release -p lumen-bench --bin fig5_threshold [--quick]`
+
+use lumen_bench::{banner, baseline_experiment, defaults, RunScale};
+use lumen_core::prelude::*;
+use lumen_policy::ThresholdTable;
+use lumen_stats::csv::CsvBuilder;
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig 5(d,e,f)", "latency / power / PLP vs utilization threshold");
+
+    let averages: &[f64] = &[0.35, 0.45, 0.55, 0.65];
+    let rates: &[f64] = &[1.25, 3.3, 5.05];
+    let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
+
+    let mut csv = CsvBuilder::new(vec![
+        "avg_threshold".into(),
+        "rate_pkts_per_cycle".into(),
+        "norm_latency".into(),
+        "norm_power".into(),
+        "power_latency_product".into(),
+    ]);
+
+    for &rate in rates {
+        let baseline = baseline_experiment(scale).run_uniform(rate, size);
+        println!(
+            "\nrate {rate} pkt/cycle — baseline latency {:.1} cycles",
+            baseline.avg_latency_cycles
+        );
+        println!(
+            "  {:>10} {:>12} {:>10} {:>8}",
+            "threshold", "norm latency", "norm power", "PLP"
+        );
+        for &avg in averages {
+            let mut config = SystemConfig::paper_default();
+            config.policy.thresholds = ThresholdTable::uniform(avg, 0.1);
+            let exp = Experiment::new(config)
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES));
+            let r = exp.run_uniform(rate, size);
+            let nl = r.normalized_latency(&baseline);
+            let np = r.normalized_power;
+            println!("  {avg:>10.2} {nl:>12.3} {np:>10.3} {:>8.3}", nl * np);
+            csv.row_f64(&[avg, rate, nl, np, nl * np]);
+        }
+    }
+    println!("\nCSV:\n{}", csv.as_str());
+}

@@ -1,0 +1,74 @@
+//! Fig. 5(a,b,c) — sensitivity to the policy sampling window `Tw`.
+//!
+//! Uniform-random traffic at light (1.25), medium (3.3) and heavy (5.0)
+//! network-wide injection rates on the MQW-modulator system; `Tw` swept
+//! from 100 to 10 000 cycles. For each point we report average latency and
+//! power normalized against the non-power-aware network, plus their
+//! product — the paper's three panels.
+//!
+//! Paper shapes to reproduce: short windows hurt both latency and power
+//! (transition churn); very long windows hurt latency at medium/heavy load
+//! (sluggish adaptation); ~1000 cycles is the sweet spot.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin fig5_window [--quick]`
+
+use lumen_bench::{banner, baseline_experiment, defaults, paper_experiment, RunScale};
+use lumen_core::prelude::*;
+use lumen_stats::csv::CsvBuilder;
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig 5(a,b,c)", "latency / power / PLP vs policy window size");
+
+    let windows: &[u64] = &[100, 500, 1_000, 5_000, 10_000];
+    let rates: &[f64] = &[1.25, 3.3, 5.0];
+    let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
+
+    let mut csv = CsvBuilder::new(vec![
+        "tw_cycles".into(),
+        "rate_pkts_per_cycle".into(),
+        "norm_latency".into(),
+        "norm_power".into(),
+        "power_latency_product".into(),
+        "transitions".into(),
+    ]);
+
+    for &rate in rates {
+        let baseline = baseline_experiment(scale).run_uniform(rate, size);
+        println!(
+            "\nrate {rate} pkt/cycle — baseline latency {:.1} cycles",
+            baseline.avg_latency_cycles
+        );
+        println!(
+            "  {:>9} {:>12} {:>10} {:>8} {:>11}",
+            "Tw", "norm latency", "norm power", "PLP", "transitions"
+        );
+        for &tw in windows {
+            let mut exp = paper_experiment(scale);
+            let mut config = exp.config().clone();
+            config.policy.timing.tw_cycles = tw;
+            exp = Experiment::new(config)
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES));
+            let r = exp.run_uniform(rate, size);
+            let nl = r.normalized_latency(&baseline);
+            let np = r.normalized_power;
+            println!(
+                "  {tw:>9} {:>12.3} {:>10.3} {:>8.3} {:>11}",
+                nl,
+                np,
+                nl * np,
+                r.transitions
+            );
+            csv.row_f64(&[
+                tw as f64,
+                rate,
+                nl,
+                np,
+                nl * np,
+                r.transitions as f64,
+            ]);
+        }
+    }
+    println!("\nCSV:\n{}", csv.as_str());
+}

@@ -1,0 +1,94 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md for the index) and prints
+//! both a human-readable table and CSV rows. All binaries accept
+//! `--quick` to shrink the simulated horizon (useful for CI smoke runs);
+//! full runs use the paper-scale horizons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lumen_core::prelude::*;
+
+/// Run-length scaling picked from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Paper-scale horizons (the default).
+    Full,
+    /// ~10× shorter horizons for smoke runs (`--quick`).
+    Quick,
+}
+
+impl RunScale {
+    /// Parses process arguments (`--quick` selects [`RunScale::Quick`]).
+    pub fn from_args() -> RunScale {
+        if std::env::args().any(|a| a == "--quick") {
+            RunScale::Quick
+        } else {
+            RunScale::Full
+        }
+    }
+
+    /// Scales a cycle count.
+    pub fn cycles(self, full: u64) -> u64 {
+        match self {
+            RunScale::Full => full,
+            RunScale::Quick => (full / 10).max(2_000),
+        }
+    }
+}
+
+/// The paper's defaults for synthetic uniform-random experiments.
+pub mod defaults {
+    /// Packet size (flits) used for the uniform-random and hotspot
+    /// experiments (the SPLASH runs use 48-flit packets).
+    pub const SYNTHETIC_PACKET_FLITS: u32 = 5;
+    /// Warmup cycles before measurement.
+    pub const WARMUP_CYCLES: u64 = 10_000;
+    /// Measured cycles for steady-state points.
+    pub const MEASURE_CYCLES: u64 = 100_000;
+}
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+pub fn banner(figure: &str, what: &str) {
+    println!("==============================================================");
+    println!("{figure} — {what}");
+    println!("(Power-Aware Opto-Electronic Networked Systems, HPCA-11 2005)");
+    println!("==============================================================");
+}
+
+/// Builds the paper-default power-aware experiment at a given scale.
+pub fn paper_experiment(scale: RunScale) -> Experiment {
+    Experiment::new(SystemConfig::paper_default())
+        .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+        .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES))
+}
+
+/// Builds the matching non-power-aware baseline experiment.
+pub fn baseline_experiment(scale: RunScale) -> Experiment {
+    Experiment::new(SystemConfig::paper_default().non_power_aware())
+        .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+        .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_cycles() {
+        assert_eq!(RunScale::Full.cycles(100_000), 100_000);
+        assert_eq!(RunScale::Quick.cycles(100_000), 10_000);
+        assert_eq!(RunScale::Quick.cycles(5_000), 2_000);
+    }
+
+    #[test]
+    fn experiments_constructible() {
+        let e = paper_experiment(RunScale::Quick);
+        assert!(e.config().power_aware);
+        let b = baseline_experiment(RunScale::Quick);
+        assert!(!b.config().power_aware);
+    }
+}

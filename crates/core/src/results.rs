@@ -1,0 +1,153 @@
+//! Run results: the metrics the paper's evaluation reports.
+
+use lumen_stats::{Summary, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything measured during one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Measured core cycles (after warmup).
+    pub cycles: u64,
+    /// Packets injected during measurement.
+    pub packets_injected: u64,
+    /// Packets delivered during measurement (created after warmup).
+    pub packets_delivered: u64,
+    /// Mean end-to-end packet latency, in core cycles.
+    pub avg_latency_cycles: f64,
+    /// 99th-percentile latency, in core cycles.
+    pub p99_latency_cycles: f64,
+    /// Maximum observed latency, in core cycles.
+    pub max_latency_cycles: f64,
+    /// Mean network power, mW.
+    pub avg_power_mw: f64,
+    /// Non-power-aware baseline power (all links at max rate), mW.
+    pub baseline_power_mw: f64,
+    /// `avg_power_mw / baseline_power_mw` — the paper's power metric.
+    pub normalized_power: f64,
+    /// Bit-rate level transitions issued during the whole run.
+    pub transitions: u64,
+    /// Full latency statistics.
+    pub latency_summary: Summary,
+    /// Mean latency per sampling bucket over time (empty unless sampled).
+    pub latency_series: TimeSeries,
+    /// Normalized power per sampling bucket over time.
+    pub power_series: TimeSeries,
+    /// Injection rate (packets/cycle) per sampling bucket over time.
+    pub injection_series: TimeSeries,
+}
+
+impl RunResult {
+    /// The measured injection rate, packets per cycle network-wide.
+    pub fn injection_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.packets_injected as f64 / self.cycles as f64
+        }
+    }
+
+    /// The delivery (accepted-traffic) rate, packets per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.packets_delivered as f64 / self.cycles as f64
+        }
+    }
+
+    /// Latency normalized against a baseline run (the paper's
+    /// "normalized average latency").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline saw no packets.
+    pub fn normalized_latency(&self, baseline: &RunResult) -> f64 {
+        assert!(
+            baseline.avg_latency_cycles > 0.0,
+            "baseline must have measured latency"
+        );
+        self.avg_latency_cycles / baseline.avg_latency_cycles
+    }
+
+    /// The paper's power-latency product, normalized against a baseline
+    /// run: `normalized latency × normalized power`.
+    pub fn power_latency_product(&self, baseline: &RunResult) -> f64 {
+        self.normalized_latency(baseline) * self.normalized_power
+    }
+
+    /// Whether this run is saturated relative to a zero-load latency:
+    /// the paper defines throughput as the injection rate at which average
+    /// latency exceeds twice the zero-load latency.
+    pub fn is_saturated(&self, zero_load_latency_cycles: f64) -> bool {
+        self.avg_latency_cycles > 2.0 * zero_load_latency_cycles
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkts, latency {:.1} cy (p99 {:.1}), power {:.1} mW ({:.1}% of baseline), {} transitions",
+            self.packets_delivered,
+            self.avg_latency_cycles,
+            self.p99_latency_cycles,
+            self.avg_power_mw,
+            self.normalized_power * 100.0,
+            self.transitions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(latency: f64, norm_power: f64) -> RunResult {
+        RunResult {
+            cycles: 1000,
+            packets_injected: 500,
+            packets_delivered: 480,
+            avg_latency_cycles: latency,
+            p99_latency_cycles: latency * 3.0,
+            max_latency_cycles: latency * 5.0,
+            avg_power_mw: norm_power * 1000.0,
+            baseline_power_mw: 1000.0,
+            normalized_power: norm_power,
+            transitions: 7,
+            latency_summary: Summary::new(),
+            latency_series: TimeSeries::new("l"),
+            power_series: TimeSeries::new("p"),
+            injection_series: TimeSeries::new("i"),
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let r = result(20.0, 0.25);
+        assert_eq!(r.injection_rate(), 0.5);
+        assert_eq!(r.throughput(), 0.48);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let pa = result(30.0, 0.25);
+        let base = result(20.0, 1.0);
+        assert!((pa.normalized_latency(&base) - 1.5).abs() < 1e-12);
+        assert!((pa.power_latency_product(&base) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_definition() {
+        let r = result(50.0, 1.0);
+        assert!(r.is_saturated(20.0)); // 50 > 2×20
+        assert!(!r.is_saturated(30.0)); // 50 < 2×30
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = result(20.0, 0.25).to_string();
+        assert!(s.contains("480 pkts"));
+        assert!(s.contains("25.0% of baseline"));
+    }
+}

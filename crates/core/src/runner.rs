@@ -1,0 +1,205 @@
+//! Experiment orchestration: warmup, measurement, and result collection.
+
+use crate::config::SystemConfig;
+use crate::results::RunResult;
+use crate::sim::PowerAwareSim;
+use lumen_desim::Rng;
+use lumen_traffic::{
+    PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource,
+};
+
+/// A configured experiment: one system, a warmup phase whose statistics
+/// are discarded, and a measurement phase.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: SystemConfig,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    sample_every: Option<u64>,
+}
+
+impl Experiment {
+    /// Creates an experiment with defaults suitable for the paper's
+    /// steady-state measurements (20 k warmup, 100 k measured cycles).
+    pub fn new(config: SystemConfig) -> Self {
+        Experiment {
+            config,
+            warmup_cycles: 20_000,
+            measure_cycles: 100_000,
+            sample_every: None,
+        }
+    }
+
+    /// Sets the warmup length.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Sets the measurement length.
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.measure_cycles = cycles;
+        self
+    }
+
+    /// Enables time-series sampling every `cycles` cycles (for the
+    /// over-time figures).
+    pub fn sample_every(mut self, cycles: u64) -> Self {
+        self.sample_every = Some(cycles);
+        self
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the experiment with an arbitrary traffic source.
+    pub fn run(&self, source: Box<dyn TrafficSource>) -> RunResult {
+        let mut engine =
+            PowerAwareSim::build_engine(self.config.clone(), source, self.sample_every);
+        let cycle = self.config.noc.cycle();
+        let warmup_end = cycle * self.warmup_cycles;
+        engine.run_until(warmup_end);
+        let now = engine.now();
+        engine.model_mut().begin_measurement(now);
+        let end = cycle * (self.warmup_cycles + self.measure_cycles);
+        engine.run_until(end);
+
+        let sim = engine.model();
+        let summary = sim.latency_summary().clone();
+        let hist = sim.latency_histogram();
+        let (lat_s, pow_s, inj_s) = sim.series();
+        RunResult {
+            cycles: self.measure_cycles,
+            packets_injected: sim.packets_injected_measured(),
+            packets_delivered: summary.count(),
+            avg_latency_cycles: summary.mean(),
+            p99_latency_cycles: if summary.is_empty() {
+                0.0
+            } else {
+                hist.percentile(99.0)
+            },
+            max_latency_cycles: summary.max().unwrap_or(0.0),
+            avg_power_mw: sim.average_power(end).as_mw(),
+            baseline_power_mw: sim.baseline_power().as_mw(),
+            normalized_power: sim.normalized_power(end),
+            transitions: sim.transitions(),
+            latency_summary: summary,
+            latency_series: lat_s.clone(),
+            power_series: pow_s.clone(),
+            injection_series: inj_s.clone(),
+        }
+    }
+
+    /// Runs under uniform-random traffic at a constant network-wide rate
+    /// (packets/cycle) with the given packet size.
+    pub fn run_uniform(&self, rate: f64, size: PacketSize) -> RunResult {
+        self.run_synthetic(Pattern::Uniform, RateProfile::Constant(rate), size)
+    }
+
+    /// Runs under the paper's time-varying hotspot workload (Fig. 6).
+    pub fn run_hotspot(&self, size: PacketSize) -> RunResult {
+        self.run_synthetic(
+            Pattern::paper_hotspot(&self.config.noc),
+            RateProfile::paper_hotspot_schedule(),
+            size,
+        )
+    }
+
+    /// Runs a synthetic SPLASH2-like application trace (Fig. 7, Table 3).
+    pub fn run_splash(&self, app: SplashApp) -> RunResult {
+        self.run_synthetic(
+            Pattern::Uniform,
+            RateProfile::Splash(app),
+            PacketSize::Fixed(app.packet_size_flits()),
+        )
+    }
+
+    /// Runs an arbitrary synthetic pattern/profile/size combination.
+    pub fn run_synthetic(
+        &self,
+        pattern: Pattern,
+        profile: RateProfile,
+        size: PacketSize,
+    ) -> RunResult {
+        let source = SyntheticSource::new(
+            &self.config.noc,
+            pattern,
+            profile,
+            size,
+            Rng::seed_from(self.config.seed),
+        );
+        self.run(Box::new(source))
+    }
+
+    /// Measures the zero-load latency: a near-idle run whose mean latency
+    /// anchors the paper's saturation-throughput definition.
+    pub fn zero_load_latency(&self, size: PacketSize) -> f64 {
+        let result = self.run_uniform(0.01, size);
+        result.avg_latency_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_noc::NocConfig;
+
+    fn small(power_aware: bool) -> Experiment {
+        let mut config = SystemConfig::paper_default();
+        config.noc = NocConfig::small_for_tests();
+        config.power_aware = power_aware;
+        config.policy.timing.tw_cycles = 200;
+        Experiment::new(config)
+            .warmup_cycles(1_000)
+            .measure_cycles(6_000)
+    }
+
+    #[test]
+    fn uniform_run_produces_metrics() {
+        let r = small(true).run_uniform(0.1, PacketSize::Fixed(4));
+        assert!(r.packets_delivered > 50, "{r}");
+        assert!(r.avg_latency_cycles > 5.0);
+        assert!(r.p99_latency_cycles >= r.avg_latency_cycles);
+        assert!(r.max_latency_cycles >= r.p99_latency_cycles * 0.5);
+        assert!(r.normalized_power < 1.0);
+        assert!(r.baseline_power_mw > 0.0);
+        let rate = r.injection_rate();
+        assert!((rate - 0.1).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn baseline_vs_power_aware_tradeoff() {
+        let base = small(false).run_uniform(0.1, PacketSize::Fixed(4));
+        let pa = small(true).run_uniform(0.1, PacketSize::Fixed(4));
+        // Baseline: full power, lowest latency.
+        assert!((base.normalized_power - 1.0).abs() < 1e-9);
+        assert!(pa.normalized_power < 0.7);
+        // PA trades some latency.
+        assert!(pa.normalized_latency(&base) >= 1.0);
+        // And wins on power-latency product at light load.
+        assert!(pa.power_latency_product(&base) < 1.0);
+    }
+
+    #[test]
+    fn zero_load_latency_is_small() {
+        let z = small(false).zero_load_latency(PacketSize::Fixed(4));
+        assert!(z > 5.0 && z < 60.0, "zero-load {z}");
+    }
+
+    #[test]
+    fn splash_runs() {
+        let r = small(true).run_splash(SplashApp::Radix);
+        assert!(r.packets_delivered > 0);
+    }
+
+    #[test]
+    fn hotspot_runs_with_sampling() {
+        let exp = small(true).sample_every(1_000);
+        let r = exp.run_hotspot(PacketSize::Fixed(4));
+        assert!(r.packets_delivered > 0);
+        assert!(r.power_series.len() > 3);
+        assert!(r.injection_series.len() > 3);
+    }
+}

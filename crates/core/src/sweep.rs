@@ -1,0 +1,180 @@
+//! Load sweeps and saturation-throughput measurement.
+//!
+//! The paper defines throughput as "the injection rate at which average
+//! network latency exceeds twice the latency at zero network load"
+//! (§4.1). [`LoadSweep`] runs an experiment across injection rates and
+//! [`LoadSweep::saturation_throughput`] locates that crossover by
+//! bisection over measured points.
+
+use crate::results::RunResult;
+use crate::runner::Experiment;
+use lumen_traffic::{PacketSize, Pattern, RateProfile};
+use serde::{Deserialize, Serialize};
+
+/// One measured point of a load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered network-wide injection rate, packets/cycle.
+    pub offered: f64,
+    /// Delivered rate, packets/cycle.
+    pub throughput: f64,
+    /// Mean packet latency, cycles.
+    pub latency_cycles: f64,
+    /// Normalized power.
+    pub normalized_power: f64,
+}
+
+/// A latency/power-vs-load curve for one system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSweep {
+    /// Zero-load latency anchor, cycles.
+    pub zero_load_latency: f64,
+    /// Measured points, in increasing offered load.
+    pub points: Vec<SweepPoint>,
+}
+
+impl LoadSweep {
+    /// Runs `experiment` at each rate in `rates` (sorted ascending) under
+    /// uniform-random traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or unsorted.
+    pub fn run(experiment: &Experiment, rates: &[f64], size: PacketSize) -> LoadSweep {
+        assert!(!rates.is_empty(), "sweep needs at least one rate");
+        assert!(
+            rates.windows(2).all(|w| w[0] < w[1]),
+            "rates must be strictly increasing"
+        );
+        let zero_load_latency = experiment.zero_load_latency(size);
+        let points = rates
+            .iter()
+            .map(|&offered| {
+                let r = experiment.run_synthetic(
+                    Pattern::Uniform,
+                    RateProfile::Constant(offered),
+                    size,
+                );
+                SweepPoint::from_result(offered, &r)
+            })
+            .collect();
+        LoadSweep {
+            zero_load_latency,
+            points,
+        }
+    }
+
+    /// The paper's saturation throughput: the offered load at which the
+    /// latency curve crosses `2 × zero-load latency`, linearly
+    /// interpolated between the two bracketing measured points. `None` if
+    /// the sweep never saturates.
+    pub fn saturation_throughput(&self) -> Option<f64> {
+        let limit = 2.0 * self.zero_load_latency;
+        let mut prev: Option<&SweepPoint> = None;
+        for p in &self.points {
+            if p.latency_cycles > limit {
+                return Some(match prev {
+                    None => p.offered,
+                    Some(q) => {
+                        let f = (limit - q.latency_cycles)
+                            / (p.latency_cycles - q.latency_cycles);
+                        q.offered + f.clamp(0.0, 1.0) * (p.offered - q.offered)
+                    }
+                });
+            }
+            prev = Some(p);
+        }
+        None
+    }
+
+    /// The highest delivered rate observed anywhere in the sweep.
+    pub fn peak_throughput(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.throughput)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl SweepPoint {
+    /// Builds a point from a run result.
+    pub fn from_result(offered: f64, r: &RunResult) -> SweepPoint {
+        SweepPoint {
+            offered,
+            throughput: r.throughput(),
+            latency_cycles: r.avg_latency_cycles,
+            normalized_power: r.normalized_power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use lumen_noc::NocConfig;
+
+    fn synthetic_sweep(latencies: &[(f64, f64)], zero_load: f64) -> LoadSweep {
+        LoadSweep {
+            zero_load_latency: zero_load,
+            points: latencies
+                .iter()
+                .map(|&(offered, latency_cycles)| SweepPoint {
+                    offered,
+                    throughput: offered.min(4.5),
+                    latency_cycles,
+                    normalized_power: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn saturation_interpolates() {
+        // Zero-load 50 → limit 100; crossing between rate 4 (80cy) and
+        // rate 5 (180cy) at f = 0.2 → 4.2.
+        let sweep = synthetic_sweep(&[(1.0, 55.0), (4.0, 80.0), (5.0, 180.0)], 50.0);
+        let sat = sweep.saturation_throughput().unwrap();
+        assert!((sat - 4.2).abs() < 1e-9, "sat {sat}");
+    }
+
+    #[test]
+    fn no_saturation_reports_none() {
+        let sweep = synthetic_sweep(&[(1.0, 55.0), (2.0, 60.0)], 50.0);
+        assert_eq!(sweep.saturation_throughput(), None);
+        assert!((sweep.peak_throughput() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_point_already_saturated() {
+        let sweep = synthetic_sweep(&[(3.0, 500.0)], 50.0);
+        assert_eq!(sweep.saturation_throughput(), Some(3.0));
+    }
+
+    #[test]
+    fn end_to_end_small_sweep() {
+        // A real (tiny) sweep on the test mesh: the baseline network must
+        // saturate somewhere between light load and gross overload.
+        let mut config = SystemConfig::paper_default().non_power_aware();
+        config.noc = NocConfig::small_for_tests();
+        let exp = Experiment::new(config)
+            .warmup_cycles(500)
+            .measure_cycles(3_000);
+        let sweep = LoadSweep::run(&exp, &[0.2, 1.0, 3.0], PacketSize::Fixed(4));
+        assert!(sweep.zero_load_latency > 5.0);
+        assert_eq!(sweep.points.len(), 3);
+        // Latency must be non-decreasing in offered load.
+        assert!(sweep.points[0].latency_cycles <= sweep.points[2].latency_cycles);
+        // 3.0 pkt/cycle on 8 nodes with 4-flit packets grossly saturates.
+        assert!(sweep.saturation_throughput().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_rates_rejected() {
+        let mut config = SystemConfig::paper_default();
+        config.noc = NocConfig::small_for_tests();
+        let exp = Experiment::new(config);
+        let _ = LoadSweep::run(&exp, &[1.0, 0.5], PacketSize::Fixed(4));
+    }
+}

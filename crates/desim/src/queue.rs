@@ -1,0 +1,217 @@
+//! The event calendar.
+
+use crate::time::Picos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the calendar: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    time: Picos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Sequence tie-break gives deterministic FIFO order for
+        // events scheduled at the same instant.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic pending-event calendar.
+///
+/// Events scheduled for the same timestamp are delivered in the order they
+/// were scheduled (FIFO), which makes whole-system simulations reproducible
+/// regardless of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use lumen_desim::{EventQueue, Picos};
+/// let mut q = EventQueue::new();
+/// q.schedule(Picos::from_ns(5), "b");
+/// q.schedule(Picos::from_ns(1), "a");
+/// q.schedule(Picos::from_ns(5), "c");
+/// assert_eq!(q.pop(), Some((Picos::from_ns(1), "a")));
+/// assert_eq!(q.pop(), Some((Picos::from_ns(5), "b")));
+/// assert_eq!(q.pop(), Some((Picos::from_ns(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Picos, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Picos, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Picos> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_ns(30), 3);
+        q.schedule(Picos::from_ns(10), 1);
+        q.schedule(Picos::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_for_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Picos::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_and_times() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_ns(2), "t2-a");
+        q.schedule(Picos::from_ns(1), "t1-a");
+        q.schedule(Picos::from_ns(2), "t2-b");
+        q.schedule(Picos::from_ns(1), "t1-b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["t1-a", "t1-b", "t2-a", "t2-b"]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Picos::from_ns(7), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Picos::from_ns(7)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 1);
+    }
+
+    #[test]
+    fn property_pops_sorted_with_fifo_ties() {
+        use crate::rng::Rng;
+        // Randomized schedule orders must always drain in nondecreasing
+        // time order, FIFO among equal timestamps.
+        for seed in 0..50u64 {
+            let mut rng = Rng::seed_from(seed);
+            let mut q = EventQueue::new();
+            for i in 0..500u64 {
+                // Coarse buckets force many ties.
+                q.schedule(Picos::from_ps(rng.next_below(16) * 100), i);
+            }
+            let mut last: Option<(Picos, u64)> = None;
+            while let Some((t, id)) = q.pop() {
+                if let Some((lt, lid)) = last {
+                    assert!(t >= lt, "time went backwards (seed {seed})");
+                    if t == lt {
+                        assert!(id > lid, "FIFO violated at {t} (seed {seed})");
+                    }
+                }
+                last = Some((t, id));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::ZERO, 1);
+        q.schedule(Picos::ZERO, 2);
+        assert_eq!(q.pop(), Some((Picos::ZERO, 1)));
+        assert_eq!(q.pop(), Some((Picos::ZERO, 2)));
+    }
+}

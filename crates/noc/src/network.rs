@@ -1,0 +1,587 @@
+//! The assembled clustered-mesh network.
+//!
+//! [`Network`] owns the routers, nodes and links of the paper's system
+//! (Fig. 3(a) / Fig. 4) and exposes a *passive* stepping interface: the
+//! caller owns the event loop, invokes [`Network::tick`] once per router
+//! cycle, and feeds the returned [`Effect`]s (flit deliveries and credit
+//! returns) back at their due times via [`Network::flit_arrived`] /
+//! [`Network::credit_arrived`]. The power-aware layer manipulates link
+//! rates between ticks through [`Network::link_mut`].
+
+use crate::config::NocConfig;
+use crate::flit::{Flit, Packet};
+use crate::ids::{LinkId, NodeId, PacketId, PortId, RouterId, VcId};
+use crate::link::{Endpoint, Link, LinkKind};
+use crate::node::{SinkNode, SourceNode};
+use crate::router::Router;
+use crate::routing::{direction_port, RoutingAlgorithm};
+use crate::ids::Direction;
+use lumen_desim::Picos;
+
+/// An externally-visible consequence of stepping the network; the driver
+/// schedules each at its `at` time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// A flit finishes traversing `link` (deliver via
+    /// [`Network::flit_arrived`]).
+    Flit {
+        /// The traversed link.
+        link: LinkId,
+        /// The downstream VC the flit occupies.
+        vc: VcId,
+        /// The flit itself.
+        flit: Flit,
+        /// Arrival time at the downstream endpoint.
+        at: Picos,
+    },
+    /// A credit travels back to the upstream side of `link` (deliver via
+    /// [`Network::credit_arrived`]).
+    Credit {
+        /// The link whose upstream endpoint regains a buffer slot.
+        link: LinkId,
+        /// The VC the credit belongs to.
+        vc: VcId,
+        /// Credit arrival time.
+        at: Picos,
+    },
+    /// A packet fully left the network at its destination.
+    Ejected {
+        /// The packet.
+        packet: PacketId,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Packet length in flits.
+        size_flits: u32,
+        /// When the packet was created (latency start).
+        created_at: Picos,
+        /// When the tail flit arrived (latency end).
+        at: Picos,
+    },
+}
+
+/// The whole simulated network system.
+#[derive(Debug)]
+pub struct Network {
+    config: NocConfig,
+    routers: Vec<Router>,
+    sources: Vec<SourceNode>,
+    sinks: Vec<SinkNode>,
+    links: Vec<Link>,
+    inter_router_links: usize,
+    ticks: u64,
+}
+
+impl Network {
+    /// Builds the network with the configuration's routing discipline.
+    pub fn new(config: &NocConfig) -> Self {
+        Network::with_routing(config, config.routing)
+    }
+
+    /// Builds the network with an explicit routing algorithm (overriding
+    /// the configuration's choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NocConfig::validate`]).
+    pub fn with_routing(config: &NocConfig, routing: RoutingAlgorithm) -> Self {
+        config.validate();
+        let mut routers: Vec<Router> = (0..config.rack_count())
+            .map(|r| Router::new(RouterId(r), routing, config))
+            .collect();
+        let mut links = Vec::new();
+
+        // Inter-router mesh channels.
+        for r in 0..config.rack_count() {
+            let here = RouterId(r);
+            let coord = config.coord_of(here);
+            for dir in Direction::ALL {
+                let Some(nbr_coord) = coord.neighbor(dir, config.width, config.height) else {
+                    continue;
+                };
+                let nbr = config.router_at(nbr_coord);
+                let out_port = direction_port(config, dir);
+                let in_port = direction_port(config, dir.opposite());
+                let id = LinkId(links.len());
+                links.push(Link::new(
+                    id,
+                    LinkKind::InterRouter,
+                    Endpoint::RouterPort {
+                        router: here,
+                        port: out_port,
+                    },
+                    Endpoint::RouterPort {
+                        router: nbr,
+                        port: in_port,
+                    },
+                    config.flit_bits,
+                    config.propagation,
+                    config.max_rate,
+                ));
+                routers[r].outputs[out_port.0 as usize].link = Some(id);
+                routers[nbr.0].inputs[in_port.0 as usize].feeder = Some(id);
+            }
+        }
+        let inter_router_links = links.len();
+
+        // Injection and ejection channels.
+        let mut sources = Vec::with_capacity(config.node_count());
+        let mut sinks = Vec::with_capacity(config.node_count());
+        for n in 0..config.node_count() {
+            let node = NodeId(n);
+            let router = config.router_of_node(node);
+            let local = PortId(config.local_index(node));
+
+            let inj = LinkId(links.len());
+            links.push(Link::new(
+                inj,
+                LinkKind::Injection,
+                Endpoint::Node(node),
+                Endpoint::RouterPort {
+                    router,
+                    port: local,
+                },
+                config.flit_bits,
+                config.propagation,
+                config.max_rate,
+            ));
+            routers[router.0].inputs[local.0 as usize].feeder = Some(inj);
+            sources.push(SourceNode::new(node, inj, config.vcs, config.depth_per_vc()));
+
+            let ej = LinkId(links.len());
+            links.push(Link::new(
+                ej,
+                LinkKind::Ejection,
+                Endpoint::RouterPort {
+                    router,
+                    port: local,
+                },
+                Endpoint::Node(node),
+                config.flit_bits,
+                config.propagation,
+                config.max_rate,
+            ));
+            routers[router.0].outputs[local.0 as usize].link = Some(ej);
+            sinks.push(SinkNode::new(node, ej));
+        }
+
+        Network {
+            config: config.clone(),
+            routers,
+            sources,
+            sinks,
+            links,
+            inter_router_links,
+            ticks: 0,
+        }
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of processing nodes.
+    pub fn node_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of links of all kinds.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of inter-router (mesh) links.
+    pub fn inter_router_links(&self) -> usize {
+        self.inter_router_links
+    }
+
+    /// Core cycles executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Mutable access to a link (the power-aware layer's rate-change hook).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Immutable access to a router.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0]
+    }
+
+    /// Queues a packet at its source node.
+    pub fn inject(&mut self, packet: Packet) {
+        self.sources[packet.src.0].enqueue(packet);
+    }
+
+    /// One router-core cycle: all sources try to inject, all routers step
+    /// their pipelines. Effects are appended to `effects`.
+    pub fn tick(&mut self, now: Picos, effects: &mut Vec<Effect>) {
+        self.ticks += 1;
+        for src in &mut self.sources {
+            src.tick(now, &mut self.links, effects);
+        }
+        for router in &mut self.routers {
+            router.tick(now, &self.config, &mut self.links, effects);
+        }
+    }
+
+    /// Delivers a flit that finished traversing `link` (an
+    /// [`Effect::Flit`] whose time has come).
+    pub fn flit_arrived(
+        &mut self,
+        now: Picos,
+        link: LinkId,
+        vc: VcId,
+        flit: Flit,
+        effects: &mut Vec<Effect>,
+    ) {
+        match self.links[link.0].to() {
+            Endpoint::RouterPort { router, port } => {
+                self.routers[router.0].accept_flit(port, vc, flit);
+            }
+            Endpoint::Node(n) => {
+                self.sinks[n.0].receive(now, vc, flit, self.config.credit_delay, effects);
+            }
+        }
+    }
+
+    /// Delivers a credit back to the upstream side of `link` (an
+    /// [`Effect::Credit`] whose time has come).
+    pub fn credit_arrived(&mut self, link: LinkId, vc: VcId) {
+        let depth = self.config.depth_per_vc();
+        match self.links[link.0].from() {
+            Endpoint::RouterPort { router, port } => {
+                self.routers[router.0].return_credit(port, vc, depth);
+            }
+            Endpoint::Node(n) => {
+                self.sources[n.0].return_credit(vc, depth);
+            }
+        }
+    }
+
+    /// Average occupancy (in flits) of the input port downstream of `link`
+    /// since last sampled, over `cycles` observation cycles. `None` for
+    /// ejection links (the sink drains instantly, so `Bu` is zero there).
+    pub fn take_downstream_occupancy(&mut self, link: LinkId, cycles: u64) -> Option<f64> {
+        match self.links[link.0].to() {
+            Endpoint::RouterPort { router, port } => {
+                let accum = self.routers[router.0].inputs[port.0 as usize].take_occupancy_accum();
+                (cycles > 0).then(|| accum as f64 / cycles as f64)
+            }
+            Endpoint::Node(_) => None,
+        }
+    }
+
+    /// Total flits queued at source nodes (offered-load backlog).
+    pub fn source_backlog(&self) -> usize {
+        self.sources.iter().map(SourceNode::backlog_flits).sum()
+    }
+
+    /// Packets fully delivered so far.
+    pub fn packets_delivered(&self) -> u64 {
+        self.sinks.iter().map(|s| s.packets_received).sum()
+    }
+
+    /// Flits injected so far across all sources.
+    pub fn flits_injected(&self) -> u64 {
+        self.sources.iter().map(|s| s.flits_injected).sum()
+    }
+
+    /// Whether the network holds no traffic anywhere (sources drained,
+    /// routers idle, no partial packets at sinks).
+    pub fn is_quiescent(&self) -> bool {
+        self.source_backlog() == 0
+            && self.routers.iter().all(Router::is_quiescent)
+            && self.sinks.iter().all(|s| s.partial_packets() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_desim::EventQueue;
+    use lumen_opto::Gbps;
+
+    /// A minimal driver for the passive network model: schedules a tick
+    /// every core cycle and replays effects at their due times.
+    struct Driver {
+        net: Network,
+        queue: EventQueue<Effect>,
+        effects: Vec<Effect>,
+        ejected: Vec<Effect>,
+        now: Picos,
+    }
+
+    impl Driver {
+        fn new(config: &NocConfig) -> Self {
+            Driver {
+                net: Network::new(config),
+                queue: EventQueue::new(),
+                effects: Vec::new(),
+                ejected: Vec::new(),
+                now: Picos::ZERO,
+            }
+        }
+
+        /// Runs `cycles` core cycles.
+        fn run(&mut self, cycles: u64) {
+            let cycle = self.net.config().cycle();
+            for _ in 0..cycles {
+                // Deliver all effects due at or before `now`.
+                while let Some(t) = self.queue.peek_time() {
+                    if t > self.now {
+                        break;
+                    }
+                    let (at, eff) = self.queue.pop().expect("peeked");
+                    match eff {
+                        Effect::Flit { link, vc, flit, .. } => {
+                            self.net.flit_arrived(at, link, vc, flit, &mut self.effects);
+                        }
+                        Effect::Credit { link, vc, .. } => {
+                            self.net.credit_arrived(link, vc);
+                        }
+                        Effect::Ejected { .. } => unreachable!("ejections emitted inline"),
+                    }
+                }
+                self.net.tick(self.now, &mut self.effects);
+                for eff in self.effects.drain(..) {
+                    match eff {
+                        Effect::Ejected { .. } => self.ejected.push(eff),
+                        Effect::Flit { at, .. } | Effect::Credit { at, .. } => {
+                            self.queue.schedule(at, eff);
+                        }
+                    }
+                }
+                self.now += cycle;
+            }
+        }
+    }
+
+    fn packet(id: u64, src: usize, dst: usize, size: u32, at: Picos) -> Packet {
+        Packet::new(PacketId(id), NodeId(src), NodeId(dst), size, at)
+    }
+
+    #[test]
+    fn topology_counts() {
+        let net = Network::new(&NocConfig::paper_default());
+        assert_eq!(net.router_count(), 64);
+        assert_eq!(net.node_count(), 512);
+        // 2 × (2 × 8 × 7) directed mesh links + 2 links per node.
+        assert_eq!(net.inter_router_links(), 224);
+        assert_eq!(net.link_count(), 224 + 2 * 512);
+    }
+
+    #[test]
+    fn all_ports_wired() {
+        let config = NocConfig::paper_default();
+        let net = Network::new(&config);
+        for r in 0..net.router_count() {
+            let router = net.router(RouterId(r));
+            let coord = config.coord_of(RouterId(r));
+            // Local ports always wired both ways.
+            for p in 0..config.nodes_per_rack {
+                assert!(router.outputs[p as usize].link.is_some());
+                assert!(router.inputs[p as usize].feeder.is_some());
+            }
+            // Mesh ports wired exactly when a neighbor exists.
+            for dir in Direction::ALL {
+                let port = direction_port(&config, dir);
+                let has = coord.neighbor(dir, config.width, config.height).is_some();
+                assert_eq!(router.outputs[port.0 as usize].link.is_some(), has);
+                assert_eq!(router.inputs[port.0 as usize].feeder.is_some(), has);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_rack_delivery() {
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        d.net.inject(packet(1, 0, 1, 4, Picos::ZERO));
+        d.run(100);
+        assert_eq!(d.ejected.len(), 1);
+        let Effect::Ejected { packet: pid, src, dst, at, .. } = d.ejected[0] else {
+            panic!("expected ejection");
+        };
+        assert_eq!(pid, PacketId(1));
+        assert_eq!(src, NodeId(0));
+        assert_eq!(dst, NodeId(1));
+        assert!(at > Picos::ZERO);
+        assert!(d.net.is_quiescent());
+        assert_eq!(d.net.packets_delivered(), 1);
+    }
+
+    #[test]
+    fn cross_mesh_delivery_latency_reasonable() {
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        // Node 0 (rack (0,0)) to node 7 (rack (1,1), local 1): 2 hops.
+        d.net.inject(packet(1, 0, 7, 4, Picos::ZERO));
+        d.run(200);
+        assert_eq!(d.ejected.len(), 1);
+        let Effect::Ejected { at, created_at, .. } = d.ejected[0] else {
+            panic!()
+        };
+        let latency = at - created_at;
+        // 3 routers × ~4-cycle pipeline + 4 link traversals (ser+prop) +
+        // 3 extra flits of serialization: comfortably under 40 cycles.
+        let cycle = config.cycle();
+        assert!(latency >= cycle * 10, "latency {latency} too small");
+        assert!(latency <= cycle * 40, "latency {latency} too large");
+    }
+
+    #[test]
+    fn every_pair_delivers() {
+        // Exhaustive pairwise reachability on the small mesh.
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        let n = d.net.node_count();
+        let mut id = 0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    id += 1;
+                    d.net.inject(packet(id, s, t, 2, Picos::ZERO));
+                }
+            }
+        }
+        d.run(3000);
+        assert_eq!(d.ejected.len() as u64, id);
+        assert!(d.net.is_quiescent());
+    }
+
+    #[test]
+    fn west_first_every_pair_delivers() {
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver {
+            net: Network::with_routing(&config, crate::routing::RoutingAlgorithm::WestFirst),
+            queue: EventQueue::new(),
+            effects: Vec::new(),
+            ejected: Vec::new(),
+            now: Picos::ZERO,
+        };
+        let n = d.net.node_count();
+        let mut id = 0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    id += 1;
+                    d.net.inject(packet(id, s, t, 3, Picos::ZERO));
+                }
+            }
+        }
+        d.run(4000);
+        assert_eq!(d.ejected.len() as u64, id);
+        assert!(d.net.is_quiescent());
+    }
+
+    #[test]
+    fn west_first_adversarial_hotspot_drains() {
+        // Heavy many-to-one plus cross traffic: a deadlock hazard for
+        // non-turn-model adaptive schemes; west-first must drain.
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver {
+            net: Network::with_routing(&config, crate::routing::RoutingAlgorithm::WestFirst),
+            queue: EventQueue::new(),
+            effects: Vec::new(),
+            ejected: Vec::new(),
+            now: Picos::ZERO,
+        };
+        let mut id = 0;
+        for s in 0..d.net.node_count() {
+            for k in 0..6 {
+                let t = (s + 1 + k) % d.net.node_count();
+                if t != s {
+                    id += 1;
+                    d.net.inject(packet(id, s, t, 6, Picos::ZERO));
+                }
+            }
+        }
+        d.run(8000);
+        assert_eq!(d.ejected.len() as u64, id);
+        assert!(d.net.is_quiescent());
+    }
+
+    #[test]
+    fn slow_link_still_delivers() {
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        // Slow every link to 5 Gb/s with a transition penalty.
+        for l in 0..d.net.link_count() {
+            d.net
+                .link_mut(LinkId(l))
+                .begin_rate_change(Picos::ZERO, Gbps::from_gbps(5.0), Picos::from_ps(32_000));
+        }
+        d.net.inject(packet(1, 0, 7, 6, Picos::ZERO));
+        d.run(400);
+        assert_eq!(d.ejected.len(), 1);
+        assert!(d.net.is_quiescent());
+    }
+
+    #[test]
+    fn backpressure_does_not_lose_flits() {
+        // Many nodes target one destination; everything must still arrive.
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        let mut id = 0;
+        for s in 0..d.net.node_count() {
+            if s == 3 {
+                continue;
+            }
+            for k in 0..5 {
+                id += 1;
+                d.net
+                    .inject(packet(id, s, 3, 8, Picos::from_ns(k as u64)));
+            }
+        }
+        d.run(5000);
+        assert_eq!(d.ejected.len() as u64, id);
+        assert!(d.net.is_quiescent());
+    }
+
+    #[test]
+    fn occupancy_sampling() {
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        d.net.inject(packet(1, 0, 7, 8, Picos::ZERO));
+        d.run(50);
+        // The injection link of node 0 feeds router 0 port 0.
+        let inj = d.net.sources[0].injection_link();
+        let occ = d.net.take_downstream_occupancy(inj, 50);
+        assert!(occ.is_some());
+        // Ejection links report None.
+        let ej = d.net.sinks[7].ejection_link();
+        assert_eq!(d.net.take_downstream_occupancy(ej, 50), None);
+    }
+
+    #[test]
+    fn utilization_counters_track_traffic() {
+        let config = NocConfig::small_for_tests();
+        let mut d = Driver::new(&config);
+        d.net.inject(packet(1, 0, 7, 4, Picos::ZERO));
+        d.run(200);
+        let inj = d.net.sources[0].injection_link();
+        assert_eq!(d.net.link(inj).flits_sent(), 4);
+        let busy = d.net.link_mut(inj).take_window_busy();
+        assert_eq!(busy, config.flit_time(config.max_rate) * 4);
+    }
+}

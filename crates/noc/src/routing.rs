@@ -1,0 +1,320 @@
+//! Routing functions.
+//!
+//! The paper's mesh uses deterministic dimension-order routing: packets
+//! travel fully along X, then along Y, then exit through the destination
+//! node's local ejection port. Dimension order is provably deadlock-free on
+//! meshes with wormhole flow control and a single virtual channel.
+
+use crate::config::NocConfig;
+use crate::ids::{Direction, NodeId, PortId, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// The routing discipline for the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoutingAlgorithm {
+    /// X first, then Y (the paper's choice).
+    #[default]
+    XY,
+    /// Y first, then X (used in tests to cross-check path independence).
+    YX,
+    /// West-first partially-adaptive routing (Glass & Ni turn model): all
+    /// westward hops are taken first and deterministically; afterwards the
+    /// router may choose adaptively among the remaining minimal
+    /// directions. Deadlock-free on meshes with wormhole flow control.
+    /// The paper's related work (its ref. [25]) studies exactly this
+    /// adaptivity axis under bursty traffic.
+    WestFirst,
+}
+
+/// Port index of a mesh direction: local ports come first, then N/S/E/W.
+pub fn direction_port(config: &NocConfig, dir: Direction) -> PortId {
+    PortId(config.nodes_per_rack + dir.index() as u8)
+}
+
+/// The mesh direction of a port, if it is an inter-router port.
+pub fn port_direction(config: &NocConfig, port: PortId) -> Option<Direction> {
+    let base = config.nodes_per_rack;
+    if port.0 >= base && port.0 < base + 4 {
+        Some(Direction::ALL[(port.0 - base) as usize])
+    } else {
+        None
+    }
+}
+
+/// Appends every permitted minimal output port for a packet at `here`
+/// addressed to `dst` into `out` (cleared first). Deterministic
+/// algorithms yield exactly one candidate; `WestFirst` may yield up to
+/// three. At the destination rack, the single candidate is the ejection
+/// port.
+pub fn route_candidates(
+    config: &NocConfig,
+    algo: RoutingAlgorithm,
+    here: RouterId,
+    dst: NodeId,
+    out: &mut Vec<PortId>,
+) {
+    out.clear();
+    let here_c = config.coord_of(here);
+    let dst_c = config.coord_of(config.router_of_node(dst));
+    if here_c == dst_c {
+        out.push(PortId(config.local_index(dst)));
+        return;
+    }
+    match algo {
+        RoutingAlgorithm::XY | RoutingAlgorithm::YX => {
+            out.push(route(config, algo, here, dst));
+        }
+        RoutingAlgorithm::WestFirst => {
+            if dst_c.x < here_c.x {
+                // Westward hops come first, deterministically.
+                out.push(direction_port(config, Direction::West));
+            } else {
+                // Adaptive among the remaining minimal directions.
+                if dst_c.x > here_c.x {
+                    out.push(direction_port(config, Direction::East));
+                }
+                if dst_c.y > here_c.y {
+                    out.push(direction_port(config, Direction::South));
+                } else if dst_c.y < here_c.y {
+                    out.push(direction_port(config, Direction::North));
+                }
+            }
+        }
+    }
+    debug_assert!(!out.is_empty(), "no route from {here} to {dst}");
+}
+
+/// Computes the output port at `here` for a packet addressed to `dst`.
+///
+/// Returns the destination's local ejection port once the packet has
+/// reached its destination rack. For [`RoutingAlgorithm::WestFirst`] this
+/// returns the first (most deterministic) candidate; adaptive selection
+/// happens in the router via [`route_candidates`].
+pub fn route(config: &NocConfig, algo: RoutingAlgorithm, here: RouterId, dst: NodeId) -> PortId {
+    let here_c = config.coord_of(here);
+    let dst_c = config.coord_of(config.router_of_node(dst));
+    let dir = match algo {
+        RoutingAlgorithm::WestFirst => {
+            let mut candidates = Vec::new();
+            route_candidates(config, algo, here, dst, &mut candidates);
+            return candidates[0];
+        }
+        RoutingAlgorithm::XY => {
+            if dst_c.x > here_c.x {
+                Some(Direction::East)
+            } else if dst_c.x < here_c.x {
+                Some(Direction::West)
+            } else if dst_c.y > here_c.y {
+                Some(Direction::South)
+            } else if dst_c.y < here_c.y {
+                Some(Direction::North)
+            } else {
+                None
+            }
+        }
+        RoutingAlgorithm::YX => {
+            if dst_c.y > here_c.y {
+                Some(Direction::South)
+            } else if dst_c.y < here_c.y {
+                Some(Direction::North)
+            } else if dst_c.x > here_c.x {
+                Some(Direction::East)
+            } else if dst_c.x < here_c.x {
+                Some(Direction::West)
+            } else {
+                None
+            }
+        }
+    };
+    match dir {
+        Some(d) => direction_port(config, d),
+        None => PortId(config.local_index(dst)),
+    }
+}
+
+/// Number of router-to-router hops a packet takes under dimension-order
+/// routing (Manhattan distance between the racks).
+pub fn hop_count(config: &NocConfig, src: NodeId, dst: NodeId) -> u32 {
+    let a = config.coord_of(config.router_of_node(src));
+    let b = config.coord_of(config.router_of_node(dst));
+    a.manhattan(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{RackCoord, RouterId};
+
+    fn cfg() -> NocConfig {
+        NocConfig::paper_default()
+    }
+
+    #[test]
+    fn direction_ports_follow_locals() {
+        let c = cfg();
+        assert_eq!(direction_port(&c, Direction::North), PortId(8));
+        assert_eq!(direction_port(&c, Direction::South), PortId(9));
+        assert_eq!(direction_port(&c, Direction::East), PortId(10));
+        assert_eq!(direction_port(&c, Direction::West), PortId(11));
+        assert_eq!(port_direction(&c, PortId(8)), Some(Direction::North));
+        assert_eq!(port_direction(&c, PortId(11)), Some(Direction::West));
+        assert_eq!(port_direction(&c, PortId(0)), None);
+        assert_eq!(port_direction(&c, PortId(12)), None);
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let c = cfg();
+        let here = c.router_at(RackCoord::new(1, 1));
+        // Destination two columns east, one row south.
+        let dst = c.node_at(c.router_at(RackCoord::new(3, 2)), 0);
+        assert_eq!(route(&c, RoutingAlgorithm::XY, here, dst), direction_port(&c, Direction::East));
+        // After X is resolved, go south.
+        let aligned = c.router_at(RackCoord::new(3, 1));
+        assert_eq!(
+            route(&c, RoutingAlgorithm::XY, aligned, dst),
+            direction_port(&c, Direction::South)
+        );
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let c = cfg();
+        let here = c.router_at(RackCoord::new(1, 1));
+        let dst = c.node_at(c.router_at(RackCoord::new(3, 2)), 0);
+        assert_eq!(route(&c, RoutingAlgorithm::YX, here, dst), direction_port(&c, Direction::South));
+    }
+
+    #[test]
+    fn at_destination_uses_local_port() {
+        let c = cfg();
+        let r = c.router_at(RackCoord::new(3, 5));
+        let dst = c.node_at(r, 4);
+        assert_eq!(route(&c, RoutingAlgorithm::XY, r, dst), PortId(4));
+        assert_eq!(route(&c, RoutingAlgorithm::YX, r, dst), PortId(4));
+    }
+
+    #[test]
+    fn route_always_progresses() {
+        // Following XY routing from any router must reach the destination
+        // in exactly manhattan-distance hops.
+        let c = cfg();
+        let dst = c.node_at(c.router_at(RackCoord::new(6, 2)), 3);
+        for start in 0..c.rack_count() {
+            let mut here = RouterId(start);
+            let mut hops = 0;
+            loop {
+                let port = route(&c, RoutingAlgorithm::XY, here, dst);
+                match port_direction(&c, port) {
+                    None => break, // ejection port: arrived
+                    Some(dir) => {
+                        let next = c
+                            .coord_of(here)
+                            .neighbor(dir, c.width, c.height)
+                            .expect("route must stay in mesh");
+                        here = c.router_at(next);
+                        hops += 1;
+                        assert!(hops <= 14, "routing loop from r{start}");
+                    }
+                }
+            }
+            assert_eq!(here, c.router_of_node(dst));
+            let src_node = c.node_at(RouterId(start), 0);
+            assert_eq!(hops, hop_count(&c, src_node, dst), "from r{start}");
+        }
+    }
+
+    #[test]
+    fn west_first_goes_west_first() {
+        let c = cfg();
+        let here = c.router_at(RackCoord::new(5, 3));
+        // Destination to the north-west: west is mandatory and exclusive.
+        let dst = c.node_at(c.router_at(RackCoord::new(2, 1)), 0);
+        let mut cands = Vec::new();
+        route_candidates(&c, RoutingAlgorithm::WestFirst, here, dst, &mut cands);
+        assert_eq!(cands, vec![direction_port(&c, Direction::West)]);
+    }
+
+    #[test]
+    fn west_first_adapts_east_and_south() {
+        let c = cfg();
+        let here = c.router_at(RackCoord::new(1, 1));
+        let dst = c.node_at(c.router_at(RackCoord::new(3, 4)), 0);
+        let mut cands = Vec::new();
+        route_candidates(&c, RoutingAlgorithm::WestFirst, here, dst, &mut cands);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.contains(&direction_port(&c, Direction::East)));
+        assert!(cands.contains(&direction_port(&c, Direction::South)));
+    }
+
+    #[test]
+    fn west_first_candidates_all_minimal() {
+        // Every candidate strictly reduces Manhattan distance.
+        let c = cfg();
+        let mut cands = Vec::new();
+        for here in 0..c.rack_count() {
+            let here = RouterId(here);
+            for dst_r in 0..c.rack_count() {
+                let dst = c.node_at(RouterId(dst_r), 0);
+                route_candidates(&c, RoutingAlgorithm::WestFirst, here, dst, &mut cands);
+                assert!(!cands.is_empty());
+                let d0 = c.coord_of(here).manhattan(c.coord_of(RouterId(dst_r)));
+                for &p in &cands {
+                    match port_direction(&c, p) {
+                        None => assert_eq!(d0, 0),
+                        Some(dir) => {
+                            let next = c
+                                .coord_of(here)
+                                .neighbor(dir, c.width, c.height)
+                                .expect("candidate must stay in mesh");
+                            let d1 = next.manhattan(c.coord_of(RouterId(dst_r)));
+                            assert_eq!(d1 + 1, d0, "{here}->{dst} via {dir}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_never_turns_to_west() {
+        // The turn-model invariant: west only appears when ALL remaining
+        // hops are west (candidate set == {West}).
+        let c = cfg();
+        let mut cands = Vec::new();
+        for here in 0..c.rack_count() {
+            for dst_r in 0..c.rack_count() {
+                let dst = c.node_at(RouterId(dst_r), 0);
+                route_candidates(&c, RoutingAlgorithm::WestFirst, RouterId(here), dst, &mut cands);
+                let west = direction_port(&c, Direction::West);
+                if cands.contains(&west) {
+                    assert_eq!(cands.len(), 1, "west must be exclusive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_algorithms_have_single_candidate() {
+        let c = cfg();
+        let mut cands = Vec::new();
+        let dst = c.node_at(c.router_at(RackCoord::new(6, 6)), 2);
+        for algo in [RoutingAlgorithm::XY, RoutingAlgorithm::YX] {
+            route_candidates(&c, algo, RouterId(0), dst, &mut cands);
+            assert_eq!(cands.len(), 1);
+            assert_eq!(cands[0], route(&c, algo, RouterId(0), dst));
+        }
+    }
+
+    #[test]
+    fn hop_count_symmetric() {
+        let c = cfg();
+        let a = c.node_at(c.router_at(RackCoord::new(0, 0)), 0);
+        let b = c.node_at(c.router_at(RackCoord::new(7, 7)), 5);
+        assert_eq!(hop_count(&c, a, b), 14);
+        assert_eq!(hop_count(&c, b, a), 14);
+        // Same rack: zero inter-router hops.
+        let a2 = c.node_at(c.router_at(RackCoord::new(0, 0)), 1);
+        assert_eq!(hop_count(&c, a, a2), 0);
+    }
+}

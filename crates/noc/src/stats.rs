@@ -1,0 +1,173 @@
+//! Network observability snapshots.
+//!
+//! Aggregated views over link and router state, used by the experiment
+//! harnesses and examples to report *where* the network is spending its
+//! bandwidth and its power budget (e.g. the paper's observation that
+//! injection/ejection links stay lowly utilized under uniform traffic
+//! while mesh links saturate).
+
+use crate::link::LinkKind;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate statistics for one class of links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkClassStats {
+    /// Number of links in the class.
+    pub count: usize,
+    /// Mean current bit rate, Gb/s.
+    pub mean_rate_gbps: f64,
+    /// Minimum current bit rate, Gb/s.
+    pub min_rate_gbps: f64,
+    /// Maximum current bit rate, Gb/s.
+    pub max_rate_gbps: f64,
+    /// Total flits carried over the class's lifetime.
+    pub flits_sent: u64,
+    /// Total bit-rate changes over the class's lifetime.
+    pub rate_changes: u64,
+}
+
+impl fmt::Display for LinkClassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} links @ {:.2} Gb/s avg ({:.1}–{:.1}), {} flits, {} rate changes",
+            self.count,
+            self.mean_rate_gbps,
+            self.min_rate_gbps,
+            self.max_rate_gbps,
+            self.flits_sent,
+            self.rate_changes
+        )
+    }
+}
+
+/// A point-in-time aggregate view of the whole network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    /// Inter-router (mesh) links.
+    pub mesh: LinkClassStats,
+    /// Node-to-router injection links.
+    pub injection: LinkClassStats,
+    /// Router-to-node ejection links.
+    pub ejection: LinkClassStats,
+    /// Total flits switched by all routers.
+    pub flits_switched: u64,
+    /// Flits waiting in source queues.
+    pub source_backlog: usize,
+    /// Packets fully delivered.
+    pub packets_delivered: u64,
+}
+
+impl NetworkSnapshot {
+    /// Takes a snapshot of `net`.
+    pub fn take(net: &Network) -> NetworkSnapshot {
+        let class = |kind: LinkKind| {
+            let mut count = 0usize;
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max: f64 = 0.0;
+            let mut flits = 0u64;
+            let mut changes = 0u64;
+            for l in net.links().filter(|l| l.kind() == kind) {
+                let r = l.rate().as_gbps();
+                count += 1;
+                sum += r;
+                min = min.min(r);
+                max = max.max(r);
+                flits += l.flits_sent();
+                changes += l.rate_changes();
+            }
+            LinkClassStats {
+                count,
+                mean_rate_gbps: if count == 0 { 0.0 } else { sum / count as f64 },
+                min_rate_gbps: if count == 0 { 0.0 } else { min },
+                max_rate_gbps: max,
+                flits_sent: flits,
+                rate_changes: changes,
+            }
+        };
+        let flits_switched = (0..net.router_count())
+            .map(|r| net.router(crate::ids::RouterId(r)).flits_switched)
+            .sum();
+        NetworkSnapshot {
+            mesh: class(LinkKind::InterRouter),
+            injection: class(LinkKind::Injection),
+            ejection: class(LinkKind::Ejection),
+            flits_switched,
+            source_backlog: net.source_backlog(),
+            packets_delivered: net.packets_delivered(),
+        }
+    }
+}
+
+impl fmt::Display for NetworkSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mesh:      {}", self.mesh)?;
+        writeln!(f, "injection: {}", self.injection)?;
+        writeln!(f, "ejection:  {}", self.ejection)?;
+        write!(
+            f,
+            "{} flits switched, {} backlogged, {} packets delivered",
+            self.flits_switched, self.source_backlog, self.packets_delivered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use crate::flit::Packet;
+    use crate::ids::{LinkId, NodeId, PacketId};
+    use lumen_desim::Picos;
+    use lumen_opto::Gbps;
+
+    #[test]
+    fn snapshot_of_fresh_network() {
+        let net = Network::new(&NocConfig::paper_default());
+        let snap = NetworkSnapshot::take(&net);
+        assert_eq!(snap.mesh.count, 224);
+        assert_eq!(snap.injection.count, 512);
+        assert_eq!(snap.ejection.count, 512);
+        assert!((snap.mesh.mean_rate_gbps - 10.0).abs() < 1e-9);
+        assert_eq!(snap.flits_switched, 0);
+        assert_eq!(snap.packets_delivered, 0);
+        assert_eq!(snap.source_backlog, 0);
+        let text = snap.to_string();
+        assert!(text.contains("mesh:"));
+        assert!(text.contains("224 links"));
+    }
+
+    #[test]
+    fn snapshot_reflects_rate_changes_and_traffic() {
+        let config = NocConfig::small_for_tests();
+        let mut net = Network::new(&config);
+        // Slow one mesh link down.
+        net.link_mut(LinkId(0))
+            .begin_rate_change(Picos::ZERO, Gbps::from_gbps(5.0), Picos::ZERO);
+        net.inject(Packet::new(PacketId(1), NodeId(0), NodeId(1), 2, Picos::ZERO));
+        let mut effects = Vec::new();
+        for c in 0..50u64 {
+            net.tick(Picos::from_ps(c * 1600), &mut effects);
+            for eff in std::mem::take(&mut effects) {
+                match eff {
+                    crate::network::Effect::Flit { link, vc, flit, at } => {
+                        net.flit_arrived(at, link, vc, flit, &mut effects)
+                    }
+                    crate::network::Effect::Credit { link, vc, .. } => {
+                        net.credit_arrived(link, vc)
+                    }
+                    crate::network::Effect::Ejected { .. } => {}
+                }
+            }
+        }
+        let snap = NetworkSnapshot::take(&net);
+        assert_eq!(snap.mesh.rate_changes, 1);
+        assert!((snap.mesh.min_rate_gbps - 5.0).abs() < 1e-9);
+        assert!((snap.mesh.max_rate_gbps - 10.0).abs() < 1e-9);
+        assert!(snap.injection.flits_sent >= 2);
+        assert!(snap.packets_delivered >= 1);
+    }
+}

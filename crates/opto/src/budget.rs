@@ -1,0 +1,257 @@
+//! End-to-end optical link budgets.
+//!
+//! Ties the component models together into the question a link designer
+//! actually asks (and that §2 of the paper walks through piecewise): *from
+//! laser to detector, does this link close at this bit rate, and with how
+//! much margin?* A [`LinkBudget`] walks the optical path —
+//!
+//! ```text
+//! source light → [splitter tree] → [VOA level] → modulator IL / VCSEL OMA
+//!             → fiber & connector loss → detector → eye analysis
+//! ```
+//!
+//! — and produces a [`BudgetReport`] with the power at each stage plus the
+//! final margin, for both transmitter technologies.
+
+use crate::eye::EyeAnalysis;
+use crate::link::TransmitterKind;
+use crate::modulator::MqwModulator;
+use crate::optics::{ExternalLaserSource, OpticalLevel};
+use crate::units::{Decibels, Gbps, MicroWatts};
+use crate::vcsel::Vcsel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One named attenuation stage in the path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetStage {
+    /// Human-readable stage name.
+    pub name: String,
+    /// Optical power *after* this stage.
+    pub power_after: MicroWatts,
+}
+
+/// The result of evaluating a link budget at one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetReport {
+    /// The bit rate evaluated.
+    pub bit_rate: Gbps,
+    /// Power after each stage, source first.
+    pub stages: Vec<BudgetStage>,
+    /// Eye margin at the detector.
+    pub margin: Decibels,
+    /// Whether the link closes (margin ≥ 0 dB).
+    pub closes: bool,
+}
+
+impl fmt::Display for BudgetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "link budget at {}:", self.bit_rate)?;
+        for s in &self.stages {
+            writeln!(f, "  {:<24} {}", s.name, s.power_after)?;
+        }
+        write!(
+            f,
+            "  margin {:.2} dB → {}",
+            self.margin.as_db(),
+            if self.closes { "closes" } else { "FAILS" }
+        )
+    }
+}
+
+/// An end-to-end optical path description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    transmitter: TransmitterKind,
+    laser_source: Option<ExternalLaserSource>,
+    modulator: Option<MqwModulator>,
+    vcsel: Option<Vcsel>,
+    fiber_loss: Decibels,
+    connector_loss: Decibels,
+    /// Transmitter-to-fiber coupling loss (large for free-space/unlensed
+    /// VCSEL paths, per the paper's power-minimization reference [10]).
+    coupling_loss: Decibels,
+    eye: EyeAnalysis,
+}
+
+impl LinkBudget {
+    /// The paper's MQW path: central laser → 64×20 splitter tree → VOA →
+    /// InGaAs modulator → 1 dB fiber + 1 dB connectors → paper receiver.
+    pub fn paper_mqw() -> Self {
+        LinkBudget {
+            transmitter: TransmitterKind::MqwModulator,
+            laser_source: Some(ExternalLaserSource::paper_default()),
+            modulator: Some(MqwModulator::ingaas_10g()),
+            vcsel: None,
+            fiber_loss: Decibels::from_db(1.0),
+            connector_loss: Decibels::from_db(1.0),
+            coupling_loss: Decibels::from_db(0.0),
+            eye: EyeAnalysis::paper_default(),
+        }
+    }
+
+    /// The paper's VCSEL path: on-board laser → 12 dB free-space/coupling
+    /// loss (the budget regime of the paper's ref. [10], which assumes
+    /// ~25 µW reaching a 10 Gb/s receiver) → 1 dB fiber + 1 dB
+    /// connectors → paper receiver.
+    pub fn paper_vcsel() -> Self {
+        LinkBudget {
+            transmitter: TransmitterKind::Vcsel,
+            laser_source: None,
+            modulator: None,
+            vcsel: Some(Vcsel::oxide_aperture_10g()),
+            fiber_loss: Decibels::from_db(1.0),
+            connector_loss: Decibels::from_db(1.0),
+            coupling_loss: Decibels::from_db(12.0),
+            eye: EyeAnalysis::paper_default(),
+        }
+    }
+
+    /// The transmitter technology of this path.
+    pub fn transmitter(&self) -> TransmitterKind {
+        self.transmitter
+    }
+
+    /// Evaluates the budget at a bit rate, optical level (MQW only), and
+    /// driver supply ratio (VCSEL only; 1.0 = full swing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supply ratio is outside `[0, 1]`.
+    pub fn evaluate(&self, br: Gbps, level: OpticalLevel, supply_ratio: f64) -> BudgetReport {
+        let mut stages = Vec::new();
+        let (signal, contrast) = match self.transmitter {
+            TransmitterKind::MqwModulator => {
+                let source = self.laser_source.as_ref().expect("MQW path has a source");
+                let modulator = self.modulator.as_ref().expect("MQW path has a modulator");
+                let at_link = source.power_at_link(level);
+                stages.push(BudgetStage {
+                    name: format!("laser + tree + VOA ({level:?})"),
+                    power_after: at_link,
+                });
+                let on = modulator.transmitted_on(at_link);
+                stages.push(BudgetStage {
+                    name: "modulator (on state)".into(),
+                    power_after: on,
+                });
+                (on, modulator.contrast_ratio())
+            }
+            TransmitterKind::Vcsel => {
+                let laser = self.vcsel.as_ref().expect("VCSEL path has a laser");
+                let im = laser.modulation_at_scale(supply_ratio);
+                let one = laser.emitted_power(laser.bias() + im);
+                stages.push(BudgetStage {
+                    name: format!("VCSEL 1-level (supply ×{supply_ratio:.2})"),
+                    power_after: one,
+                });
+                (one, laser.contrast_ratio(im))
+            }
+        };
+        let coupled = signal.attenuate(self.coupling_loss);
+        if self.coupling_loss.as_db() > 0.0 {
+            stages.push(BudgetStage {
+                name: "coupling".into(),
+                power_after: coupled,
+            });
+        }
+        let after_fiber = coupled.attenuate(self.fiber_loss);
+        stages.push(BudgetStage {
+            name: "fiber".into(),
+            power_after: after_fiber,
+        });
+        let at_detector = after_fiber.attenuate(self.connector_loss);
+        stages.push(BudgetStage {
+            name: "connectors → detector".into(),
+            power_after: at_detector,
+        });
+        // Average received power for the eye analysis: mean of 1/0 levels.
+        let avg = at_detector * (0.5 * (1.0 + 1.0 / contrast));
+        let margin = self.eye.margin(avg, contrast, br);
+        BudgetReport {
+            bit_rate: br,
+            stages,
+            margin,
+            closes: margin.as_db() >= 0.0,
+        }
+    }
+
+    /// The highest rate that closes at the given optical level / supply
+    /// ratio, scanning the paper's band edges and ladder levels. `None`
+    /// if even 3.3 Gb/s fails.
+    pub fn max_closing_rate(&self, level: OpticalLevel, supply_ratio: f64) -> Option<Gbps> {
+        let mut best = None;
+        for g in [3.3, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+            let rate = Gbps::from_gbps(g);
+            if self.evaluate(rate, level, supply_ratio).closes {
+                best = Some(rate);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mqw_closes_at_full_rate_high_level() {
+        let b = LinkBudget::paper_mqw();
+        let report = b.evaluate(Gbps::from_gbps(10.0), OpticalLevel::High, 1.0);
+        assert!(report.closes, "{report}");
+        assert!(report.stages.len() >= 4);
+        // Power decreases monotonically along the path.
+        for w in report.stages.windows(2) {
+            assert!(w[1].power_after <= w[0].power_after);
+        }
+    }
+
+    #[test]
+    fn mqw_levels_gate_rates_like_the_paper_bands() {
+        // The physical justification for §3.2.2's banding: each optical
+        // level closes its own bit-rate band and not the next one up.
+        // Measured: Low closes through ~3.3–4 Gb/s (paper band < 4),
+        // Mid through ~6 (paper 4–6), High through 10 (paper 6–10).
+        let b = LinkBudget::paper_mqw();
+        let low_max = b.max_closing_rate(OpticalLevel::Low, 1.0).unwrap().as_gbps();
+        let mid_max = b.max_closing_rate(OpticalLevel::Mid, 1.0).unwrap().as_gbps();
+        let high_max = b.max_closing_rate(OpticalLevel::High, 1.0).unwrap().as_gbps();
+        assert!((3.3..5.0).contains(&low_max), "low band top {low_max}");
+        assert!((5.0..8.0).contains(&mid_max), "mid band top {mid_max}");
+        assert!((high_max - 10.0).abs() < 1e-9, "high band top {high_max}");
+    }
+
+    #[test]
+    fn vcsel_scaled_supply_still_closes_at_scaled_rate() {
+        // The §2.3 co-design claim: halving swing (light) while halving
+        // rate (sensitivity) keeps the link closed.
+        let b = LinkBudget::paper_vcsel();
+        let full = b.evaluate(Gbps::from_gbps(10.0), OpticalLevel::High, 1.0);
+        let half = b.evaluate(Gbps::from_gbps(5.0), OpticalLevel::High, 0.5);
+        assert!(full.closes, "{full}");
+        assert!(half.closes, "{half}");
+    }
+
+    #[test]
+    fn vcsel_half_swing_fails_at_full_rate() {
+        // …but a half-swing VCSEL cannot drive the full rate: less light
+        // AND lower contrast against an unchanged sensitivity requirement.
+        let b = LinkBudget::paper_vcsel();
+        let report = b.evaluate(Gbps::from_gbps(10.0), OpticalLevel::High, 0.35);
+        assert!(!report.closes, "{report}");
+        // …while the same swing comfortably closes the 5 Gb/s floor.
+        let at_floor = b.evaluate(Gbps::from_gbps(5.0), OpticalLevel::High, 0.35);
+        assert!(at_floor.closes, "{at_floor}");
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let b = LinkBudget::paper_mqw();
+        let text = b
+            .evaluate(Gbps::from_gbps(7.0), OpticalLevel::High, 1.0)
+            .to_string();
+        assert!(text.contains("link budget"));
+        assert!(text.contains("modulator"));
+        assert!(text.contains("margin"));
+    }
+}

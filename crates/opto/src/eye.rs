@@ -1,0 +1,239 @@
+//! Eye-diagram margin analysis.
+//!
+//! Section 2.3 of the paper argues qualitatively about which knobs may be
+//! scaled: modulator-driver voltage scaling "degrades the contrast ratio
+//! making it harder to detect the data", while VCSEL links "maintain
+//! acceptable BER by carefully balancing the impact of lower light
+//! intensity". This module makes those arguments quantitative with the
+//! standard link-budget penalties:
+//!
+//! - **Extinction-ratio penalty** — a finite contrast ratio `re` wastes
+//!   average power relative to an ideal on/off signal:
+//!   `ER penalty = (re + 1) / (re − 1)` (linear).
+//! - **Inter-symbol interference** — a link whose analog bandwidth `B` is
+//!   marginal for bit rate `BR` closes the eye by a factor modeled with
+//!   the usual single-pole settling expression
+//!   `1 − 2·exp(−π·B/BR · ln2 ...)` simplified to an exponential eye
+//!   closure in `B/BR`.
+//! - **Eye margin** — received OMA over the required OMA at sensitivity,
+//!   after penalties, expressed in dB.
+//!
+//! [`EyeAnalysis`] combines these with the receiver sensitivity model so
+//! callers can ask: *does this operating point close the link, and with
+//! how much margin?*
+
+use crate::sensitivity::SensitivityModel;
+use crate::units::{Decibels, Gbps, MicroWatts};
+use serde::{Deserialize, Serialize};
+
+/// Extinction-ratio power penalty (linear factor ≥ 1) for a contrast
+/// ratio `re` between the 1- and 0-levels.
+///
+/// # Panics
+///
+/// Panics unless `re > 1`.
+pub fn extinction_ratio_penalty(re: f64) -> f64 {
+    assert!(re > 1.0, "contrast ratio must exceed 1, got {re}");
+    (re + 1.0) / (re - 1.0)
+}
+
+/// Fraction of the eye that remains open (0–1) when a channel of analog
+/// bandwidth `bandwidth` carries bit rate `br`, using a single-pole
+/// settling model: the signal reaches `1 − exp(−2π·B·T_bit)` of its final
+/// value within a bit time, and the residual closes the eye from both
+/// rails.
+///
+/// # Panics
+///
+/// Panics if either rate is non-positive.
+pub fn isi_eye_opening(bandwidth: Gbps, br: Gbps) -> f64 {
+    assert!(bandwidth.as_gbps() > 0.0, "bandwidth must be positive");
+    assert!(br.as_gbps() > 0.0, "bit rate must be positive");
+    let settled = 1.0 - (-2.0 * std::f64::consts::PI * bandwidth.as_gbps() / br.as_gbps()).exp();
+    (2.0 * settled - 1.0).max(0.0)
+}
+
+/// A complete eye/margin analysis for one receiver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EyeAnalysis {
+    sensitivity: SensitivityModel,
+    /// Receiver chain analog bandwidth at the full-rate operating point.
+    bandwidth_at_max: Gbps,
+    /// Whether the bandwidth scales with the configured bit rate (a TIA
+    /// whose bias current tracks `BRmax`, paper Eq. 7) or stays fixed.
+    bandwidth_tracks_rate: bool,
+}
+
+impl EyeAnalysis {
+    /// Creates an analysis around a sensitivity model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is non-positive.
+    pub fn new(
+        sensitivity: SensitivityModel,
+        bandwidth_at_max: Gbps,
+        bandwidth_tracks_rate: bool,
+    ) -> Self {
+        assert!(bandwidth_at_max.as_gbps() > 0.0, "bandwidth must be positive");
+        EyeAnalysis {
+            sensitivity,
+            bandwidth_at_max,
+            bandwidth_tracks_rate,
+        }
+    }
+
+    /// The paper's receiver: 25 µW sensitivity at 10 Gb/s, a 7 GHz chain
+    /// (0.7 × bit rate, the classic NRZ rule of thumb) whose bias — and
+    /// hence bandwidth — scales with the configured rate.
+    pub fn paper_default() -> Self {
+        EyeAnalysis::new(
+            SensitivityModel::paper_default(),
+            Gbps::from_gbps(7.0),
+            true,
+        )
+    }
+
+    /// Effective analog bandwidth when the link runs at `br` out of
+    /// `br_max` = 10 Gb/s.
+    pub fn bandwidth_at(&self, br: Gbps) -> Gbps {
+        if self.bandwidth_tracks_rate {
+            self.bandwidth_at_max * (br.as_gbps() / 10.0)
+        } else {
+            self.bandwidth_at_max
+        }
+    }
+
+    /// Eye margin in dB for `received` average optical power with contrast
+    /// ratio `re` at bit rate `br`: received OMA (after the ER penalty and
+    /// ISI closure) over the OMA needed at sensitivity. Non-negative
+    /// margin means the link closes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the received power is non-positive or `re ≤ 1`.
+    pub fn margin(&self, received: MicroWatts, re: f64, br: Gbps) -> Decibels {
+        assert!(received.as_uw() > 0.0, "received power must be positive");
+        let penalty = extinction_ratio_penalty(re);
+        let opening = self.isi_opening_at(br);
+        let effective = received.as_uw() / penalty * opening;
+        let required = self.sensitivity.required(br).as_uw();
+        Decibels::from_linear(effective / required)
+    }
+
+    /// The ISI eye opening at `br` given the (possibly rate-tracking)
+    /// bandwidth.
+    pub fn isi_opening_at(&self, br: Gbps) -> f64 {
+        isi_eye_opening(self.bandwidth_at(br), br)
+    }
+
+    /// Whether the link closes (margin ≥ 0 dB) at the operating point.
+    pub fn closes(&self, received: MicroWatts, re: f64, br: Gbps) -> bool {
+        self.margin(received, re, br).as_db() >= 0.0
+    }
+
+    /// The minimum contrast ratio that still closes the link for a given
+    /// received power and bit rate (bisection over `re`), or `None` if
+    /// even an infinite contrast cannot close it.
+    pub fn min_contrast(&self, received: MicroWatts, br: Gbps) -> Option<f64> {
+        if !self.closes(received, 1e9, br) {
+            return None;
+        }
+        let (mut lo, mut hi): (f64, f64) = (1.0 + 1e-6, 1e9);
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if self.closes(received, mid, br) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_penalty_limits() {
+        // Infinite extinction → no penalty; re = 3 → factor 2.
+        assert!((extinction_ratio_penalty(1e12) - 1.0).abs() < 1e-9);
+        assert!((extinction_ratio_penalty(3.0) - 2.0).abs() < 1e-12);
+        // Worse contrast, bigger penalty.
+        assert!(extinction_ratio_penalty(2.0) > extinction_ratio_penalty(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn er_penalty_rejects_unity() {
+        let _ = extinction_ratio_penalty(1.0);
+    }
+
+    #[test]
+    fn isi_opening_behaviour() {
+        // Plenty of bandwidth: essentially fully open.
+        assert!(isi_eye_opening(Gbps::from_gbps(20.0), Gbps::from_gbps(10.0)) > 0.999);
+        // Starved bandwidth: eye collapses toward zero.
+        let tight = isi_eye_opening(Gbps::from_gbps(0.5), Gbps::from_gbps(10.0));
+        assert!(tight < 0.6, "opening {tight}");
+        // Monotone in bandwidth.
+        let a = isi_eye_opening(Gbps::from_gbps(5.0), Gbps::from_gbps(10.0));
+        let b = isi_eye_opening(Gbps::from_gbps(7.0), Gbps::from_gbps(10.0));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn paper_link_closes_at_sensitivity_with_margin_to_spare() {
+        let eye = EyeAnalysis::paper_default();
+        // 2× the sensitivity with a healthy 10:1 contrast closes easily.
+        assert!(eye.closes(MicroWatts::from_uw(50.0), 10.0, Gbps::from_gbps(10.0)));
+        // Exactly at sensitivity with mediocre contrast does not: the ER
+        // penalty eats the margin.
+        assert!(!eye.closes(MicroWatts::from_uw(25.0), 3.0, Gbps::from_gbps(10.0)));
+    }
+
+    #[test]
+    fn margin_improves_at_lower_rates_with_proportional_light() {
+        // The power-aware co-design point: halving rate and halving light
+        // keeps the margin (sensitivity halves too).
+        let eye = EyeAnalysis::paper_default();
+        let full = eye.margin(MicroWatts::from_uw(50.0), 10.0, Gbps::from_gbps(10.0));
+        let half = eye.margin(MicroWatts::from_uw(25.0), 10.0, Gbps::from_gbps(5.0));
+        assert!((full.as_db() - half.as_db()).abs() < 0.1, "{full} vs {half}");
+    }
+
+    #[test]
+    fn fixed_bandwidth_receiver_gains_margin_at_low_rate() {
+        // If the receiver chain keeps its full-rate bandwidth, slower bits
+        // settle more completely → wider eye.
+        let fixed = EyeAnalysis::new(
+            SensitivityModel::paper_default(),
+            Gbps::from_gbps(7.0),
+            false,
+        );
+        let open_10g = fixed.isi_opening_at(Gbps::from_gbps(10.0));
+        let open_5g = fixed.isi_opening_at(Gbps::from_gbps(5.0));
+        assert!(open_5g > open_10g);
+    }
+
+    #[test]
+    fn min_contrast_is_tight() {
+        let eye = EyeAnalysis::paper_default();
+        let re = eye
+            .min_contrast(MicroWatts::from_uw(50.0), Gbps::from_gbps(10.0))
+            .expect("closable");
+        assert!(re > 1.0);
+        // Just above the bound closes; well below does not.
+        assert!(eye.closes(MicroWatts::from_uw(50.0), re * 1.01, Gbps::from_gbps(10.0)));
+        assert!(!eye.closes(MicroWatts::from_uw(50.0), 1.0 + (re - 1.0) * 0.5, Gbps::from_gbps(10.0)));
+    }
+
+    #[test]
+    fn uncloseable_link_reports_none() {
+        let eye = EyeAnalysis::paper_default();
+        // 1 µW at 10 Gb/s: hopeless at any contrast.
+        assert_eq!(eye.min_contrast(MicroWatts::from_uw(1.0), Gbps::from_gbps(10.0)), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Clock synthesis and CDR lock-time modeling.
+//!
+//! The paper's bit-rate transition delay `Tbr` — 20 router cycles during
+//! which the link is disabled — is "set by the bandwidth of the timing
+//! recovery loop" (§2.2.3) and was "estimated and extrapolated based on
+//! characterizations of prior circuit designs of variable-frequency links"
+//! (its refs. [28, 12]). This module makes that estimate a model instead
+//! of a constant:
+//!
+//! - a [`ClockSynthesizer`] produces each ladder rate from a reference
+//!   clock through integer multiply/divide settings (the per-level clock
+//!   plan a real link chip would program);
+//! - lock time follows the standard second-order PLL settling
+//!   approximation `T_lock ≈ (ln(1/ε)) / (ζ·ω_n)`, with the natural
+//!   frequency tied to the loop bandwidth;
+//! - frequency *steps* within the same synthesized band relock faster
+//!   than band changes, quantifying the paper's preference for "small
+//!   steps … in frequency variations" (§3.2.1).
+
+use crate::units::Gbps;
+use serde::{Deserialize, Serialize};
+
+/// An integer multiply/divide setting deriving a bit clock from the
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DividerSetting {
+    /// Reference multiplier.
+    pub multiply: u32,
+    /// Output divider.
+    pub divide: u32,
+}
+
+impl DividerSetting {
+    /// The synthesized frequency for a given reference, in GHz.
+    pub fn output_ghz(self, reference_ghz: f64) -> f64 {
+        reference_ghz * self.multiply as f64 / self.divide as f64
+    }
+}
+
+/// A second-order charge-pump PLL clock synthesizer / CDR timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockSynthesizer {
+    /// Reference clock, GHz (the paper's 625 MHz router core).
+    pub reference_ghz: f64,
+    /// Loop natural frequency, MHz.
+    pub natural_mhz: f64,
+    /// Damping factor ζ (≈ 0.7–1 for a well-behaved loop).
+    pub damping: f64,
+    /// Settling tolerance ε (fraction of the frequency step considered
+    /// "locked", e.g. 1e-3).
+    pub tolerance: f64,
+}
+
+impl ClockSynthesizer {
+    /// A synthesizer in the spirit of the paper's refs. [12, 28]: 625 MHz
+    /// reference, ~7 MHz loop bandwidth, ζ = 0.8, 0.1% settling — chosen
+    /// so a one-level hop of the 5–10 Gb/s ladder locks in ≈ 20 router
+    /// cycles, the paper's `Tbr`.
+    pub fn paper_default() -> Self {
+        ClockSynthesizer {
+            reference_ghz: 0.625,
+            natural_mhz: 43.0,
+            damping: 0.8,
+            tolerance: 1e-3,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters or a tolerance outside `(0, 1)`.
+    pub fn validate(&self) {
+        assert!(self.reference_ghz > 0.0, "reference must be positive");
+        assert!(self.natural_mhz > 0.0, "natural frequency must be positive");
+        assert!(self.damping > 0.0, "damping must be positive");
+        assert!(
+            self.tolerance > 0.0 && self.tolerance < 1.0,
+            "tolerance must be in (0,1)"
+        );
+    }
+
+    /// The integer multiply/divide setting that best approximates `rate`
+    /// (searching dividers up to 16 and keeping the multiplier ≤ 64).
+    pub fn divider_for(&self, rate: Gbps) -> DividerSetting {
+        let target = rate.as_gbps();
+        let mut best = DividerSetting {
+            multiply: 1,
+            divide: 1,
+        };
+        let mut best_err = f64::INFINITY;
+        for divide in 1..=16u32 {
+            let multiply =
+                (target * divide as f64 / self.reference_ghz).round().clamp(1.0, 64.0) as u32;
+            let setting = DividerSetting { multiply, divide };
+            let err = (setting.output_ghz(self.reference_ghz) - target).abs();
+            if err < best_err {
+                best_err = err;
+                best = setting;
+            }
+        }
+        best
+    }
+
+    /// Frequency synthesis error for the best divider at `rate`, as a
+    /// fraction of the target.
+    pub fn synthesis_error(&self, rate: Gbps) -> f64 {
+        let setting = self.divider_for(rate);
+        (setting.output_ghz(self.reference_ghz) - rate.as_gbps()).abs() / rate.as_gbps()
+    }
+
+    /// Second-order settling time to within `tolerance`, in nanoseconds:
+    /// `T ≈ ln(1/ε) / (ζ · ωn)` with `ωn = 2π · natural_mhz`.
+    pub fn lock_time_ns(&self) -> f64 {
+        let wn = 2.0 * std::f64::consts::PI * self.natural_mhz * 1e6;
+        (1.0 / self.tolerance).ln() / (self.damping * wn) * 1e9
+    }
+
+    /// Lock time expressed in router-core cycles of the given period, as
+    /// the paper's `Tbr` parameter (rounded up).
+    pub fn lock_cycles(&self, core_period_ps: u64) -> u64 {
+        let ns = self.lock_time_ns();
+        let ps = ns * 1e3;
+        (ps / core_period_ps as f64).ceil() as u64
+    }
+
+    /// Relock time for a hop between two rates: proportional to the log
+    /// of the frequency ratio plus one settling constant — a small
+    /// in-band step costs near one settling time, a large swing costs
+    /// more (the circuit argument behind the paper's "small steps are
+    /// preferred", §3.2.1).
+    pub fn relock_cycles(&self, from: Gbps, to: Gbps, core_period_ps: u64) -> u64 {
+        let base = self.lock_cycles(core_period_ps) as f64;
+        let ratio = (to.as_gbps() / from.as_gbps()).abs().max(1e-9);
+        let swing = ratio.ln().abs();
+        (base * (1.0 + swing)).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_locks_in_about_20_cycles() {
+        let pll = ClockSynthesizer::paper_default();
+        pll.validate();
+        let tbr = pll.lock_cycles(1600);
+        assert!(
+            (16..=20).contains(&tbr),
+            "lock {tbr} cycles; paper uses Tbr = 20"
+        );
+    }
+
+    #[test]
+    fn dividers_hit_ladder_rates() {
+        let pll = ClockSynthesizer::paper_default();
+        for gbps in [5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+            let err = pll.synthesis_error(Gbps::from_gbps(gbps));
+            assert!(err < 0.01, "{gbps} Gb/s synthesis error {err}");
+        }
+        // 10 Gb/s = 625 MHz × 16.
+        let s = pll.divider_for(Gbps::from_gbps(10.0));
+        assert!((s.output_ghz(0.625) - 10.0).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn small_steps_relock_faster_than_big_swings() {
+        let pll = ClockSynthesizer::paper_default();
+        let step = pll.relock_cycles(Gbps::from_gbps(9.0), Gbps::from_gbps(10.0), 1600);
+        let swing = pll.relock_cycles(Gbps::from_gbps(5.0), Gbps::from_gbps(10.0), 1600);
+        assert!(step < swing, "step {step} !< swing {swing}");
+        // Direction symmetry: up and down cost the same.
+        let down = pll.relock_cycles(Gbps::from_gbps(10.0), Gbps::from_gbps(5.0), 1600);
+        assert_eq!(swing, down);
+    }
+
+    #[test]
+    fn tighter_tolerance_locks_slower() {
+        let loose = ClockSynthesizer {
+            tolerance: 1e-2,
+            ..ClockSynthesizer::paper_default()
+        };
+        let tight = ClockSynthesizer {
+            tolerance: 1e-6,
+            ..ClockSynthesizer::paper_default()
+        };
+        assert!(tight.lock_time_ns() > loose.lock_time_ns());
+    }
+
+    #[test]
+    fn wider_bandwidth_locks_faster() {
+        let slow = ClockSynthesizer {
+            natural_mhz: 10.0,
+            ..ClockSynthesizer::paper_default()
+        };
+        let fast = ClockSynthesizer {
+            natural_mhz: 100.0,
+            ..ClockSynthesizer::paper_default()
+        };
+        assert!(fast.lock_time_ns() < slow.lock_time_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn bad_tolerance_rejected() {
+        let mut pll = ClockSynthesizer::paper_default();
+        pll.tolerance = 1.5;
+        pll.validate();
+    }
+}

@@ -1,0 +1,190 @@
+//! VCSEL thermal behaviour.
+//!
+//! Section 2.3 of the paper notes that "the VCSEL output is sensitive to
+//! various factors such as temperature and the operating voltage
+//! environment, thus requiring additional circuit complexity to stabilize
+//! the system" — one of the arguments for the external-laser/MQW scheme,
+//! whose heat source lives in its own chassis. This module quantifies the
+//! sensitivity with the standard empirical VCSEL model:
+//!
+//! - threshold current rises parabolically around the design temperature:
+//!   `Ith(T) = Ith(T0) + k·(T − Tmin)²`;
+//! - slope efficiency degrades linearly with temperature;
+//! - the resulting bias margin and output-power derating feed the link
+//!   budget.
+
+use crate::units::{MicroWatts, MilliAmps};
+use crate::vcsel::Vcsel;
+use serde::{Deserialize, Serialize};
+
+/// Empirical thermal model around a VCSEL.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcselThermalModel {
+    /// Temperature of minimum threshold (°C), typically near room temp.
+    pub t_min_c: f64,
+    /// Parabolic threshold coefficient, mA/°C².
+    pub threshold_k_ma_per_c2: f64,
+    /// Fractional slope-efficiency loss per °C above `t_min_c`.
+    pub slope_derate_per_c: f64,
+    /// Thermal rollover temperature (°C): no lasing above this.
+    pub rollover_c: f64,
+}
+
+impl VcselThermalModel {
+    /// Typical 1.55 µm oxide-aperture numbers: minimum threshold at 25 °C,
+    /// ~0.2 µA/°C² parabola, 0.4%/°C slope derating, rollover at 85 °C.
+    pub fn typical_1550nm() -> Self {
+        VcselThermalModel {
+            t_min_c: 25.0,
+            threshold_k_ma_per_c2: 0.0002,
+            slope_derate_per_c: 0.004,
+            rollover_c: 85.0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive coefficients or a rollover at/below `t_min`.
+    pub fn validate(&self) {
+        assert!(self.threshold_k_ma_per_c2 >= 0.0, "threshold k must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&self.slope_derate_per_c),
+            "slope derating must be a small fraction"
+        );
+        assert!(self.rollover_c > self.t_min_c, "rollover must exceed t_min");
+    }
+
+    /// Threshold current at temperature `t_c` for a laser whose datasheet
+    /// threshold holds at `t_min_c`.
+    pub fn threshold_at(&self, laser: &Vcsel, t_c: f64) -> MilliAmps {
+        let dt = t_c - self.t_min_c;
+        laser.threshold() + MilliAmps::from_ma(self.threshold_k_ma_per_c2 * dt * dt)
+    }
+
+    /// Slope-efficiency derating factor (0–1) at temperature `t_c`;
+    /// zero at/above rollover.
+    pub fn slope_factor_at(&self, t_c: f64) -> f64 {
+        if t_c >= self.rollover_c {
+            return 0.0;
+        }
+        let dt = (t_c - self.t_min_c).max(0.0);
+        (1.0 - self.slope_derate_per_c * dt).max(0.0)
+    }
+
+    /// Emitted 1-level power at temperature `t_c` for a drive of
+    /// `bias + modulation`, combining threshold shift and slope derating.
+    pub fn emitted_at(&self, laser: &Vcsel, modulation: MilliAmps, t_c: f64) -> MicroWatts {
+        let ith = self.threshold_at(laser, t_c);
+        let drive = laser.bias() + modulation;
+        if drive <= ith {
+            return MicroWatts::ZERO;
+        }
+        // Re-derive Eq. 1 with the shifted threshold and derated slope.
+        let nominal = laser.emitted_power(drive - (ith - laser.threshold()));
+        nominal * self.slope_factor_at(t_c)
+    }
+
+    /// Whether the laser still lases (bias above the shifted threshold)
+    /// at temperature `t_c`.
+    pub fn bias_margin_ok(&self, laser: &Vcsel, t_c: f64) -> bool {
+        laser.bias() > self.threshold_at(laser, t_c) && self.slope_factor_at(t_c) > 0.0
+    }
+
+    /// The highest temperature at which the given modulation still emits
+    /// at least `required` light (1 °C resolution scan up to rollover).
+    pub fn max_operating_temp(
+        &self,
+        laser: &Vcsel,
+        modulation: MilliAmps,
+        required: MicroWatts,
+    ) -> Option<f64> {
+        let mut best = None;
+        let mut t = self.t_min_c;
+        while t <= self.rollover_c {
+            if self.emitted_at(laser, modulation, t) >= required {
+                best = Some(t);
+            }
+            t += 1.0;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (VcselThermalModel, Vcsel) {
+        (VcselThermalModel::typical_1550nm(), Vcsel::oxide_aperture_10g())
+    }
+
+    #[test]
+    fn threshold_rises_with_temperature() {
+        let (m, laser) = setup();
+        m.validate();
+        let at25 = m.threshold_at(&laser, 25.0);
+        let at70 = m.threshold_at(&laser, 70.0);
+        assert_eq!(at25, laser.threshold());
+        assert!(at70 > at25);
+        // 45°C above minimum: +0.0002·45² = +0.405 mA
+        assert!((at70.as_ma() - (0.5 + 0.405)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parabola_is_symmetric() {
+        let (m, laser) = setup();
+        let hot = m.threshold_at(&laser, 45.0);
+        let cold = m.threshold_at(&laser, 5.0);
+        assert!((hot.as_ma() - cold.as_ma()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn light_derates_with_temperature() {
+        let (m, laser) = setup();
+        let im = laser.nominal_modulation();
+        let cool = m.emitted_at(&laser, im, 25.0);
+        let warm = m.emitted_at(&laser, im, 60.0);
+        assert!(warm < cool, "{warm} !< {cool}");
+        assert!(warm.as_uw() > 0.0);
+    }
+
+    #[test]
+    fn rollover_kills_output() {
+        let (m, laser) = setup();
+        let im = laser.nominal_modulation();
+        assert_eq!(m.emitted_at(&laser, im, 90.0), MicroWatts::ZERO);
+        assert!(!m.bias_margin_ok(&laser, 90.0));
+        assert!(m.bias_margin_ok(&laser, 25.0));
+    }
+
+    #[test]
+    fn max_operating_temp_is_consistent() {
+        let (m, laser) = setup();
+        let im = laser.nominal_modulation();
+        let need = MicroWatts::from_uw(1_000.0);
+        let t = m.max_operating_temp(&laser, im, need).expect("operable");
+        assert!(t >= 25.0 && t < 85.0);
+        assert!(m.emitted_at(&laser, im, t) >= need);
+        assert!(m.emitted_at(&laser, im, t + 2.0) < need);
+    }
+
+    #[test]
+    fn impossible_requirement_reports_none() {
+        let (m, laser) = setup();
+        let im = MilliAmps::from_ma(0.1);
+        assert_eq!(
+            m.max_operating_temp(&laser, im, MicroWatts::from_uw(1e9)),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rollover")]
+    fn bad_rollover_rejected() {
+        let mut m = VcselThermalModel::typical_1550nm();
+        m.rollover_c = 20.0;
+        m.validate();
+    }
+}

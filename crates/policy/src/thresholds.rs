@@ -1,0 +1,127 @@
+//! Link-utilization thresholds (paper Table 1).
+//!
+//! The policy compares the sliding-window-averaged link utilization
+//! against a low/high threshold pair chosen by congestion state: when the
+//! downstream buffer utilization `Bu` exceeds `Bu,con = 0.5` the network is
+//! congested, queueing delay masks link slowness, and the policy can afford
+//! to be more aggressive about keeping rates low.
+
+use serde::{Deserialize, Serialize};
+
+/// A congestion-dependent pair of link-utilization thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    /// `TL` when uncongested.
+    pub low_uncongested: f64,
+    /// `TH` when uncongested.
+    pub high_uncongested: f64,
+    /// `TL` when congested.
+    pub low_congested: f64,
+    /// `TH` when congested.
+    pub high_congested: f64,
+    /// Buffer-utilization level above which the network counts as
+    /// congested (`Bu,con`).
+    pub congestion_level: f64,
+}
+
+impl ThresholdTable {
+    /// The paper's Table 1: uncongested (0.4, 0.6), congested (0.6, 0.7),
+    /// `Bu,con` = 0.5.
+    pub fn paper_default() -> Self {
+        ThresholdTable {
+            low_uncongested: 0.4,
+            high_uncongested: 0.6,
+            low_congested: 0.6,
+            high_congested: 0.7,
+            congestion_level: 0.5,
+        }
+    }
+
+    /// A congestion-independent table centered on `avg` with `TH − TL =
+    /// gap` — the configuration swept in the paper's Fig. 5(d–f).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ avg−gap/2` and `avg+gap/2 ≤ 1`.
+    pub fn uniform(avg: f64, gap: f64) -> Self {
+        let low = avg - gap / 2.0;
+        let high = avg + gap / 2.0;
+        assert!(
+            (0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low < high,
+            "thresholds ({low}, {high}) out of range"
+        );
+        ThresholdTable {
+            low_uncongested: low,
+            high_uncongested: high,
+            low_congested: low,
+            high_congested: high,
+            congestion_level: 0.5,
+        }
+    }
+
+    /// Validates ordering constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is inverted or outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (lo, hi) in [
+            (self.low_uncongested, self.high_uncongested),
+            (self.low_congested, self.high_congested),
+        ] {
+            assert!((0.0..=1.0).contains(&lo), "TL {lo} out of range");
+            assert!((0.0..=1.0).contains(&hi), "TH {hi} out of range");
+            assert!(lo < hi, "TL {lo} must be below TH {hi}");
+        }
+        assert!(
+            (0.0..=1.0).contains(&self.congestion_level),
+            "congestion level out of range"
+        );
+    }
+
+    /// Selects the `(TL, TH)` pair for a given buffer utilization.
+    pub fn select(&self, bu: f64) -> (f64, f64) {
+        if bu >= self.congestion_level {
+            (self.low_congested, self.high_congested)
+        } else {
+            (self.low_uncongested, self.high_uncongested)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_values() {
+        let t = ThresholdTable::paper_default();
+        t.validate();
+        assert_eq!(t.select(0.0), (0.4, 0.6));
+        assert_eq!(t.select(0.49), (0.4, 0.6));
+        assert_eq!(t.select(0.5), (0.6, 0.7));
+        assert_eq!(t.select(1.0), (0.6, 0.7));
+    }
+
+    #[test]
+    fn uniform_centered() {
+        let t = ThresholdTable::uniform(0.5, 0.1);
+        t.validate();
+        assert_eq!(t.select(0.0), (0.45, 0.55));
+        assert_eq!(t.select(0.9), (0.45, 0.55));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn uniform_rejects_overflow() {
+        let _ = ThresholdTable::uniform(0.99, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn validate_catches_inversion() {
+        let mut t = ThresholdTable::paper_default();
+        t.low_congested = 0.9;
+        t.validate();
+    }
+}

@@ -1,0 +1,222 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+//!
+//! Event-driven network simulations produce *autocorrelated* observations
+//! (consecutive packet latencies share queue state), so the naive
+//! `std/√n` interval is far too optimistic. The classic remedy — used by
+//! the simulation methodology the paper's substrate (popnet) community
+//! follows — is the method of batch means: split the run into `k` batches,
+//! treat batch averages as approximately independent, and build a
+//! Student-t interval over them.
+
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Two-sided Student-t critical values at 95% confidence for `df`
+/// degrees of freedom (1–30; larger df clamp to the normal limit).
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A batch-means estimator: feed observations in arrival order, read a
+/// mean ± half-width at 95% confidence.
+///
+/// # Example
+///
+/// ```
+/// use lumen_stats::confidence::BatchMeans;
+/// let mut bm = BatchMeans::new(10, 100); // 10 batches of 100 observations
+/// for i in 0..1000 {
+///     bm.record(50.0 + (i % 7) as f64);
+/// }
+/// let ci = bm.interval().unwrap();
+/// assert!((ci.mean - 53.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current: Summary,
+    batch_averages: Vec<f64>,
+    max_batches: usize,
+}
+
+/// A mean with a symmetric 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width at 95% confidence.
+    pub half_width: f64,
+    /// Number of batches the interval is built on.
+    pub batches: usize,
+}
+
+impl ConfidenceInterval {
+    /// The relative precision `half_width / |mean|` (infinite for a zero
+    /// mean).
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (x - self.mean).abs() <= self.half_width
+    }
+}
+
+impl BatchMeans {
+    /// Creates an estimator with `max_batches` batches of `batch_size`
+    /// observations each; observations beyond the capacity grow the batch
+    /// size by merging pairs (standard doubling scheme), so the estimator
+    /// never rejects data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_batches ≥ 2` (even counts work best) and
+    /// `batch_size ≥ 1`.
+    pub fn new(max_batches: usize, batch_size: usize) -> Self {
+        assert!(max_batches >= 2, "need at least two batches");
+        assert!(batch_size >= 1, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Summary::new(),
+            batch_averages: Vec::with_capacity(max_batches),
+            max_batches,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current.record(x);
+        if self.current.count() as usize >= self.batch_size {
+            self.push_batch();
+        }
+    }
+
+    fn push_batch(&mut self) {
+        let avg = self.current.mean();
+        self.current = Summary::new();
+        self.batch_averages.push(avg);
+        if self.batch_averages.len() > self.max_batches {
+            // Double the batch size by merging adjacent pairs.
+            let merged: Vec<f64> = self
+                .batch_averages
+                .chunks(2)
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect();
+            self.batch_averages = merged;
+            self.batch_size *= 2;
+        }
+    }
+
+    /// Completed batches so far.
+    pub fn batches(&self) -> usize {
+        self.batch_averages.len()
+    }
+
+    /// The 95% confidence interval over batch means, or `None` with fewer
+    /// than two completed batches.
+    pub fn interval(&self) -> Option<ConfidenceInterval> {
+        let k = self.batch_averages.len();
+        if k < 2 {
+            return None;
+        }
+        let s: Summary = self.batch_averages.iter().copied().collect();
+        // Sample (not population) variance over batches.
+        let var = s.variance() * k as f64 / (k - 1) as f64;
+        let half_width = t_critical_95(k - 1) * (var / k as f64).sqrt();
+        Some(ConfidenceInterval {
+            mean: s.mean(),
+            half_width,
+            batches: k,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(9) - 2.262).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn needs_two_batches() {
+        let mut bm = BatchMeans::new(4, 10);
+        for _ in 0..10 {
+            bm.record(1.0);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert!(bm.interval().is_none());
+        for _ in 0..10 {
+            bm.record(1.0);
+        }
+        let ci = bm.interval().unwrap();
+        assert_eq!(ci.mean, 1.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(1.0));
+    }
+
+    #[test]
+    fn interval_covers_true_mean_of_iid_noise() {
+        use lumen_desim::Rng;
+        let mut rng = Rng::seed_from(5);
+        let mut bm = BatchMeans::new(20, 500);
+        for _ in 0..10_000 {
+            bm.record(10.0 + rng.next_f64()); // mean 10.5
+        }
+        let ci = bm.interval().unwrap();
+        assert!(ci.contains(10.5), "{ci:?}");
+        assert!(ci.relative_precision() < 0.01, "{ci:?}");
+    }
+
+    #[test]
+    fn batch_doubling_caps_memory() {
+        let mut bm = BatchMeans::new(4, 1);
+        for i in 0..100 {
+            bm.record(i as f64);
+        }
+        assert!(bm.batches() <= 4 + 1);
+        let ci = bm.interval().unwrap();
+        assert!((ci.mean - 49.5).abs() < 5.0, "{ci:?}");
+    }
+
+    #[test]
+    fn wider_interval_for_noisier_data() {
+        use lumen_desim::Rng;
+        let run = |scale: f64| {
+            let mut rng = Rng::seed_from(9);
+            let mut bm = BatchMeans::new(10, 100);
+            for _ in 0..2_000 {
+                bm.record(scale * (rng.next_f64() - 0.5));
+            }
+            bm.interval().unwrap().half_width
+        };
+        assert!(run(10.0) > run(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "two batches")]
+    fn one_batch_config_rejected() {
+        let _ = BatchMeans::new(1, 10);
+    }
+}

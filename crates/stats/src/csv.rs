@@ -1,0 +1,129 @@
+//! Minimal CSV emission for the benchmark harnesses.
+//!
+//! The figure/table binaries print machine-readable series; this writer
+//! handles quoting and row-length consistency without pulling in a
+//! full CSV dependency.
+
+use std::fmt::Write as _;
+
+/// Builds a CSV document in memory.
+///
+/// # Example
+///
+/// ```
+/// use lumen_stats::csv::CsvBuilder;
+/// let mut csv = CsvBuilder::new(vec!["x".into(), "y".into()]);
+/// csv.row(vec!["1".into(), "2.5".into()]);
+/// assert_eq!(csv.finish(), "x,y\n1,2.5\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvBuilder {
+    columns: usize,
+    out: String,
+}
+
+impl CsvBuilder {
+    /// Starts a document with the given header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "CSV needs at least one column");
+        let columns = header.len();
+        let mut b = CsvBuilder {
+            columns,
+            out: String::new(),
+        };
+        b.write_row(&header);
+        b
+    }
+
+    /// Appends one data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, fields: Vec<String>) -> &mut Self {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "row has {} fields, header has {}",
+            fields.len(),
+            self.columns
+        );
+        self.write_row(&fields);
+        self
+    }
+
+    /// Convenience: a row of floats formatted with 6 significant digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row_f64(&mut self, fields: &[f64]) -> &mut Self {
+        self.row(fields.iter().map(|v| format!("{v:.6}")).collect())
+    }
+
+    fn write_row(&mut self, fields: &[String]) {
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                let escaped = f.replace('"', "\"\"");
+                let _ = write!(self.out, "\"{escaped}\"");
+            } else {
+                self.out.push_str(f);
+            }
+        }
+        self.out.push('\n');
+    }
+
+    /// The finished CSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// The document so far, without consuming the builder.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let mut b = CsvBuilder::new(vec!["a".into(), "b".into()]);
+        b.row(vec!["1".into(), "2".into()]);
+        b.row_f64(&[0.5, 1.0]);
+        let s = b.finish();
+        assert_eq!(s, "a,b\n1,2\n0.500000,1.000000\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut b = CsvBuilder::new(vec!["name".into()]);
+        b.row(vec!["has,comma".into()]);
+        b.row(vec!["has\"quote".into()]);
+        let s = b.finish();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 fields")]
+    fn mismatched_row_rejected() {
+        let mut b = CsvBuilder::new(vec!["a".into(), "b".into()]);
+        b.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_rejected() {
+        let _ = CsvBuilder::new(vec![]);
+    }
+}

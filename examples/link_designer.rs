@@ -1,0 +1,93 @@
+//! Link designer: explore the opto-electronic link design space of the
+//! paper's Section 2 — component power budgets, scaling trends, optical
+//! power delivery, and BER closure — without running a network simulation.
+//!
+//! ```text
+//! cargo run --release -p lumen-examples --example link_designer
+//! ```
+
+use lumen_opto::link::{OperatingPoint, TransmitterKind};
+use lumen_opto::modulator::MqwModulator;
+use lumen_opto::optics::{ExternalLaserSource, OpticalLevel};
+use lumen_opto::presets;
+use lumen_opto::sensitivity::SensitivityModel;
+use lumen_opto::vcsel::Vcsel;
+use lumen_opto::{Decibels, Gbps, MicroWatts};
+
+fn main() {
+    println!("Lumen link designer — paper §2 design space\n");
+
+    // 1. Electrical power budgets under dynamic scaling.
+    println!("1. Link power vs bit rate (Vdd tracks rate linearly):");
+    println!(
+        "   {:>6} {:>8} {:>14} {:>14}",
+        "Gb/s", "Vdd", "VCSEL link", "MQW link"
+    );
+    let vcsel_link = presets::paper_link(TransmitterKind::Vcsel);
+    let mqw_link = presets::paper_link(TransmitterKind::MqwModulator);
+    for gbps in [3.3, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+        let op = OperatingPoint::paper_at_gbps(gbps);
+        println!(
+            "   {:>6.1} {:>7.2}V {:>14} {:>14}",
+            gbps,
+            op.vdd().as_v(),
+            vcsel_link.power(op).to_string(),
+            mqw_link.power(op).to_string()
+        );
+    }
+
+    // 2. The VCSEL itself: light output and contrast under swing scaling.
+    println!("\n2. VCSEL light output as the driver supply scales:");
+    let laser = Vcsel::oxide_aperture_10g();
+    for ratio in [1.0, 0.75, 0.5] {
+        let im = laser.modulation_at_scale(ratio);
+        let one = laser.emitted_power(laser.bias() + im);
+        println!(
+            "   supply ×{ratio:.2}: Im = {im}, P(1-bit) = {one}, contrast {:.1}:1",
+            laser.contrast_ratio(im)
+        );
+    }
+
+    // 3. The MQW alternative: why its driver voltage must stay fixed.
+    println!("\n3. MQW modulator contrast collapse under swing scaling:");
+    let modulator = MqwModulator::ingaas_10g();
+    for swing in [1.8, 1.35, 0.9] {
+        let cr = modulator.contrast_at_swing(lumen_opto::Volts::from_v(swing));
+        let ok = if cr >= 6.0 { "ok" } else { "TOO LOW" };
+        println!("   swing {swing:.2} V → contrast {cr:.1}:1  [{ok}]");
+    }
+
+    // 4. External-laser optical budget across the 64-rack splitter tree.
+    println!("\n4. External laser → splitter tree → per-link light:");
+    let source = ExternalLaserSource::paper_default();
+    println!(
+        "   CW laser {}, tree loss {:.1} dB over {} leaves",
+        source.output(),
+        source.tree().total_loss().as_db(),
+        source.tree().leaf_count()
+    );
+    let sensitivity = SensitivityModel::paper_default();
+    for level in OpticalLevel::ALL {
+        let delivered = source.power_at_link(level);
+        // Highest rate in each level's band.
+        let band_top = match level {
+            OpticalLevel::Low => 3.9,
+            OpticalLevel::Mid => 6.0,
+            OpticalLevel::High => 10.0,
+        };
+        let after_path = delivered.attenuate(Decibels::from_db(2.0));
+        let closes = sensitivity.link_closes(after_path, Gbps::from_gbps(band_top));
+        println!(
+            "   {level:?}: {delivered} at modulator, {after_path} at detector → \
+             {band_top} Gb/s link {}",
+            if closes { "closes" } else { "FAILS" }
+        );
+    }
+
+    // 5. BER margin map.
+    println!("\n5. BER estimate vs received light at 10 Gb/s:");
+    for uw in [15.0, 20.0, 25.0, 30.0, 40.0] {
+        let ber = sensitivity.ber(MicroWatts::from_uw(uw), Gbps::from_gbps(10.0));
+        println!("   {uw:>5.1} µW → BER ≈ 1e{:.0}", ber.log10());
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build the paper's 64-rack power-aware system, run uniform
+//! traffic through it, and compare against the non-power-aware baseline.
+//!
+//! ```text
+//! cargo run --release -p lumen-examples --example quickstart
+//! ```
+
+use lumen_core::prelude::*;
+
+fn main() {
+    println!("Lumen quickstart — power-aware opto-electronic network\n");
+
+    // The paper's system: 8×8 mesh of racks, 8 nodes each, MQW-modulator
+    // links with a 5–10 Gb/s bit-rate ladder and Table-1 thresholds.
+    let config = SystemConfig::paper_default();
+    println!(
+        "system: {} racks × {} nodes, {} links of {} max, {} transmitter",
+        config.noc.rack_count(),
+        config.noc.nodes_per_rack,
+        2 * config.noc.node_count() + 224,
+        config.noc.max_rate,
+        config.transmitter,
+    );
+    println!(
+        "link power model: {} per link at full rate\n",
+        config.link_model().max_power()
+    );
+
+    // Light uniform-random traffic: the regime where power-awareness
+    // shines (the interconnect would otherwise burn full power idling).
+    let rate = 1.25; // network-wide packets/cycle
+    let size = PacketSize::Fixed(5);
+
+    let power_aware = Experiment::new(config.clone())
+        .warmup_cycles(10_000)
+        .measure_cycles(50_000)
+        .run_uniform(rate, size);
+    let baseline = Experiment::new(config.non_power_aware())
+        .warmup_cycles(10_000)
+        .measure_cycles(50_000)
+        .run_uniform(rate, size);
+
+    println!("at {rate} packets/cycle (uniform random):");
+    println!("  baseline     : {baseline}");
+    println!("  power-aware  : {power_aware}");
+    println!();
+    println!(
+        "power savings : {:.1}%",
+        (1.0 - power_aware.normalized_power) * 100.0
+    );
+    println!(
+        "latency cost  : {:.2}x",
+        power_aware.normalized_latency(&baseline)
+    );
+    println!(
+        "power-latency product: {:.2} (lower is better; 1.0 = baseline)",
+        power_aware.power_latency_product(&baseline)
+    );
+}

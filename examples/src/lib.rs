@@ -1,0 +1,3 @@
+//! Helper crate hosting the runnable examples; see the `[[example]]`
+//! targets in `Cargo.toml` (run with e.g.
+//! `cargo run --release -p lumen-examples --example quickstart`).

@@ -1,0 +1,1 @@
+//! Placeholder library target; the integration tests live in `tests/tests/`.

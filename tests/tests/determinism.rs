@@ -1,0 +1,75 @@
+//! Reproducibility: identical configurations and seeds must produce
+//! bit-identical results across the whole stack, and configurations must
+//! survive serde round trips.
+
+use lumen_core::prelude::*;
+
+fn config(seed: u64) -> SystemConfig {
+    let mut c = SystemConfig::paper_default().with_seed(seed);
+    c.noc = NocConfig::small_for_tests();
+    c.policy.timing.tw_cycles = 200;
+    c
+}
+
+fn fingerprint(seed: u64, transmitter: TransmitterKind) -> (u64, u64, f64, f64, u64) {
+    let r = Experiment::new(config(seed).with_transmitter(transmitter))
+        .warmup_cycles(500)
+        .measure_cycles(4_000)
+        .run_uniform(0.3, PacketSize::Uniform(2, 8));
+    (
+        r.packets_injected,
+        r.packets_delivered,
+        r.avg_latency_cycles,
+        r.avg_power_mw,
+        r.transitions,
+    )
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    assert_eq!(
+        fingerprint(42, TransmitterKind::MqwModulator),
+        fingerprint(42, TransmitterKind::MqwModulator)
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(1, TransmitterKind::MqwModulator);
+    let b = fingerprint(2, TransmitterKind::MqwModulator);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn transmitter_changes_power_not_traffic() {
+    // The transmitter technology affects only the power model: packet
+    // flow, latency and transition decisions are identical. (Transition
+    // decisions depend on utilization, which is technology-independent.)
+    let mqw = fingerprint(7, TransmitterKind::MqwModulator);
+    let vcsel = fingerprint(7, TransmitterKind::Vcsel);
+    assert_eq!(mqw.0, vcsel.0);
+    assert_eq!(mqw.1, vcsel.1);
+    assert_eq!(mqw.2, vcsel.2);
+    assert_ne!(mqw.3, vcsel.3, "power models must differ");
+    assert_eq!(mqw.4, vcsel.4);
+}
+
+#[test]
+fn system_config_serde_round_trip() {
+    let c = config(9);
+    let json = serde_json::to_string(&c).expect("serialize");
+    let back: SystemConfig = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, c);
+}
+
+#[test]
+fn run_result_serializes() {
+    let r = Experiment::new(config(3))
+        .warmup_cycles(200)
+        .measure_cycles(1_000)
+        .run_uniform(0.2, PacketSize::Fixed(3));
+    let json = serde_json::to_string(&r).expect("serialize result");
+    let back: RunResult = serde_json::from_str(&json).expect("parse result");
+    assert_eq!(back.packets_delivered, r.packets_delivered);
+    assert_eq!(back.normalized_power, r.normalized_power);
+}

@@ -1,0 +1,112 @@
+//! Property-based integration tests: randomized workloads and
+//! configurations against whole-system invariants.
+
+use lumen_core::prelude::*;
+use lumen_desim::{Picos, Rng};
+use lumen_noc::ids::NodeId;
+use lumen_traffic::TrafficSource;
+use proptest::prelude::*;
+
+fn small_config(seed: u64, vcs: u8, tw: u64) -> SystemConfig {
+    let mut c = SystemConfig::paper_default().with_seed(seed);
+    c.noc = NocConfig::small_for_tests();
+    c.noc.vcs = vcs;
+    c.policy.timing.tw_cycles = tw;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bursts_always_drain(
+        seed in 0u64..1000,
+        rate in 0.05f64..1.5,
+        size in 1u32..10,
+        vcs in 1u8..3,
+    ) {
+        let config = small_config(seed, vcs, 200);
+        let source = Box::new(SyntheticSource::new(
+            &config.noc,
+            Pattern::Uniform,
+            RateProfile::Phases(vec![(1_000, rate), (200_000, 0.0)]),
+            PacketSize::Fixed(size),
+            Rng::seed_from(seed),
+        ));
+        let mut engine = PowerAwareSim::build_engine(config, source, None);
+        engine.run_until(Picos::from_ps(1600 * 21_000));
+        let net = engine.model().network();
+        prop_assert!(net.is_quiescent(), "undrained network (seed {seed})");
+        prop_assert_eq!(
+            net.packets_delivered(),
+            engine.model().packets_injected_measured()
+        );
+    }
+
+    #[test]
+    fn power_always_within_physical_bounds(
+        seed in 0u64..1000,
+        rate in 0.01f64..0.8,
+        tw in 100u64..600,
+    ) {
+        let config = small_config(seed, 1, tw);
+        let floor = config
+            .link_model()
+            .normalized_power(config.policy.ladder.point_at(0));
+        let r = Experiment::new(config)
+            .warmup_cycles(500)
+            .measure_cycles(3_000)
+            .run_uniform(rate, PacketSize::Fixed(4));
+        prop_assert!(r.normalized_power >= floor - 1e-9);
+        prop_assert!(r.normalized_power <= 1.0 + 1e-9);
+        prop_assert!(r.avg_latency_cycles >= 0.0);
+    }
+
+    #[test]
+    fn generated_packets_are_well_formed(
+        seed in 0u64..10_000,
+        rate in 0.0f64..4.0,
+    ) {
+        let config = SystemConfig::paper_default();
+        let mut source = SyntheticSource::new(
+            &config.noc,
+            Pattern::Uniform,
+            RateProfile::Constant(rate),
+            PacketSize::Uniform(1, 64),
+            Rng::seed_from(seed),
+        );
+        let mut out = Vec::new();
+        for c in 0..200u64 {
+            source.packets_for_cycle(c, Picos::from_ps(c * 1600), &mut out);
+        }
+        let n = config.noc.node_count();
+        for p in &out {
+            prop_assert!(p.src.0 < n);
+            prop_assert!(p.dst.0 < n);
+            prop_assert_ne!(p.src, p.dst);
+            prop_assert!(p.size_flits >= 1 && p.size_flits <= 64);
+        }
+    }
+
+    #[test]
+    fn hotspot_weights_never_target_source(seed in 0u64..500) {
+        let config = SystemConfig::paper_default();
+        let pattern = Pattern::paper_hotspot(&config.noc);
+        let mut rng = Rng::seed_from(seed);
+        // The hot node itself sends: it must never pick itself.
+        let hot = NodeId(348);
+        for _ in 0..200 {
+            if let Some(dst) = pattern.pick(&config.noc, hot, &mut rng) {
+                prop_assert_ne!(dst, hot);
+            }
+        }
+    }
+
+    #[test]
+    fn splash_profiles_in_unit_range(cycle in 0u64..10_000_000) {
+        for app in SplashApp::ALL {
+            let r = RateProfile::Splash(app).rate_at(cycle);
+            prop_assert!(r > 0.0 && r < 1.0, "{} rate {} at {}", app, r, cycle);
+        }
+    }
+}
