@@ -11,9 +11,9 @@
 //!   ladder floor ≈ 21%) but pays heavily in latency through wake-up
 //!   penalties and gate thrash.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin ablation_onoff [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin ablation_onoff [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_policy::OnOffConfig;
 use lumen_stats::csv::CsvBuilder;
@@ -29,10 +29,55 @@ fn onoff_config() -> SystemConfig {
 }
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Ablation", "DVS bit-rate ladder vs on/off link gating");
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
     let measure = scale.cycles(60_000);
+    let experiment = |config: SystemConfig| {
+        Experiment::new(config)
+            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+            .measure_cycles(measure)
+    };
+    let disciplines = [("DVS", dvs_config as fn() -> SystemConfig), ("on/off", onoff_config)];
+
+    // Per workload: one baseline point, then one point per discipline.
+    let steady_rates = [0.25, 1.25, 3.0];
+    let bursty = RateProfile::Phases(vec![(2_000, 2.0), (38_000, 0.02)]);
+    let mut points = Vec::new();
+    for rate in steady_rates {
+        points.push(Point::new(
+            format!("uniform {rate} baseline"),
+            experiment(SystemConfig::paper_default().non_power_aware()),
+            Workload::Uniform { rate, size },
+        ));
+        points.extend(disciplines.iter().map(|(name, config)| {
+            Point::new(
+                format!("uniform {rate} {name}"),
+                experiment(config()),
+                Workload::Uniform { rate, size },
+            )
+        }));
+    }
+    let bursty_workload = |profile: &RateProfile| Workload::Synthetic {
+        pattern: Pattern::Uniform,
+        profile: profile.clone(),
+        size,
+    };
+    points.push(Point::new(
+        "bursty baseline",
+        experiment(SystemConfig::paper_default().non_power_aware()),
+        bursty_workload(&bursty),
+    ));
+    points.extend(disciplines.iter().map(|(name, config)| {
+        Point::new(
+            format!("bursty {name}"),
+            experiment(config()),
+            bursty_workload(&bursty),
+        )
+    }));
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
 
     let mut csv = CsvBuilder::new(vec![
         "workload".into(),
@@ -42,29 +87,24 @@ fn main() {
         "transitions".into(),
     ]);
 
+    let stride = 1 + disciplines.len();
     println!("\nSteady uniform load:");
     println!(
         "  {:>5} {:>10} {:>12} {:>10} {:>11}",
         "rate", "discipline", "norm latency", "norm power", "transitions"
     );
-    for rate in [0.25, 1.25, 3.0] {
-        let base = Experiment::new(SystemConfig::paper_default().non_power_aware())
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(measure)
-            .run_uniform(rate, size);
-        for (name, config) in [("DVS", dvs_config()), ("on/off", onoff_config())] {
-            let r = Experiment::new(config)
-                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-                .measure_cycles(measure)
-                .run_uniform(rate, size);
-            let nl = r.normalized_latency(&base);
+    for (k, rate) in steady_rates.into_iter().enumerate() {
+        let base = &results[k * stride];
+        for (i, (name, _)) in disciplines.iter().enumerate() {
+            let r = &results[k * stride + 1 + i];
+            let nl = r.normalized_latency(base);
             println!(
                 "  {rate:>5.2} {name:>10} {nl:>12.2} {:>10.3} {:>11}",
                 r.normalized_power, r.transitions
             );
             csv.row(vec![
                 format!("uniform-{rate}"),
-                name.into(),
+                (*name).into(),
                 format!("{nl:.4}"),
                 format!("{:.4}", r.normalized_power),
                 r.transitions.to_string(),
@@ -73,24 +113,18 @@ fn main() {
     }
 
     println!("\nIdle-heavy bursts (5% duty cycle):");
-    let bursty = RateProfile::Phases(vec![(2_000, 2.0), (38_000, 0.02)]);
-    let base = Experiment::new(SystemConfig::paper_default().non_power_aware())
-        .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-        .measure_cycles(measure)
-        .run_synthetic(Pattern::Uniform, bursty.clone(), size);
-    for (name, config) in [("DVS", dvs_config()), ("on/off", onoff_config())] {
-        let r = Experiment::new(config)
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(measure)
-            .run_synthetic(Pattern::Uniform, bursty.clone(), size);
-        let nl = r.normalized_latency(&base);
+    let bursty_start = steady_rates.len() * stride;
+    let base = &results[bursty_start];
+    for (i, (name, _)) in disciplines.iter().enumerate() {
+        let r = &results[bursty_start + 1 + i];
+        let nl = r.normalized_latency(base);
         println!(
             "  {name:>10}: norm latency {nl:>6.2}, norm power {:>6.3}, transitions {}",
             r.normalized_power, r.transitions
         );
         csv.row(vec![
             "bursty-5pct".into(),
-            name.into(),
+            (*name).into(),
             format!("{nl:.4}"),
             format!("{:.4}", r.normalized_power),
             r.transitions.to_string(),

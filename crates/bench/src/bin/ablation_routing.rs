@@ -11,15 +11,16 @@
 //! destination) and tornado (structured half-width offset); uniform
 //! random is the control where XY is already load-balanced.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin ablation_routing [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin ablation_routing [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_noc::routing::RoutingAlgorithm;
 use lumen_stats::csv::CsvBuilder;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Ablation", "XY deterministic vs west-first adaptive routing");
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
     let measure = scale.cycles(60_000);
@@ -35,6 +36,38 @@ fn main() {
         ("tornado", Pattern::Tornado, RateProfile::Constant(1.5)),
     ];
 
+    // Point order: workload-major, then routing, then power-aware.
+    let variants = [
+        (RoutingAlgorithm::XY, false),
+        (RoutingAlgorithm::XY, true),
+        (RoutingAlgorithm::WestFirst, false),
+        (RoutingAlgorithm::WestFirst, true),
+    ];
+    let points: Vec<Point> = workloads
+        .iter()
+        .flat_map(|(name, pattern, profile)| {
+            variants.into_iter().map(move |(routing, pa)| {
+                let mut config = SystemConfig::paper_default();
+                config.noc.routing = routing;
+                config.power_aware = pa;
+                let exp = Experiment::new(config)
+                    .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                    .measure_cycles(measure);
+                Point::new(
+                    format!("{name} {routing:?} PA={pa}"),
+                    exp,
+                    Workload::Synthetic {
+                        pattern: pattern.clone(),
+                        profile: profile.clone(),
+                        size,
+                    },
+                )
+            })
+        })
+        .collect();
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
+
     let mut csv = CsvBuilder::new(vec![
         "workload".into(),
         "routing".into(),
@@ -44,39 +77,31 @@ fn main() {
         "norm_power".into(),
     ]);
 
-    for (name, pattern, profile) in &workloads {
+    for (k, (name, _, _)) in workloads.iter().enumerate() {
         println!("\n{name}:");
         println!(
             "  {:>11} {:>9} {:>14} {:>11} {:>10}",
             "routing", "PA", "latency (cyc)", "throughput", "norm power"
         );
-        for routing in [RoutingAlgorithm::XY, RoutingAlgorithm::WestFirst] {
-            for pa in [false, true] {
-                let mut config = SystemConfig::paper_default();
-                config.noc.routing = routing;
-                config.power_aware = pa;
-                let r = Experiment::new(config)
-                    .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-                    .measure_cycles(measure)
-                    .run_synthetic(pattern.clone(), profile.clone(), size);
-                let routing_name = format!("{routing:?}");
-                println!(
-                    "  {:>11} {:>9} {:>14.1} {:>11.2} {:>10.3}",
-                    routing_name,
-                    if pa { "yes" } else { "no" },
-                    r.avg_latency_cycles,
-                    r.throughput(),
-                    r.normalized_power
-                );
-                csv.row(vec![
-                    (*name).into(),
-                    routing_name,
-                    pa.to_string(),
-                    format!("{:.2}", r.avg_latency_cycles),
-                    format!("{:.4}", r.throughput()),
-                    format!("{:.4}", r.normalized_power),
-                ]);
-            }
+        for (i, (routing, pa)) in variants.into_iter().enumerate() {
+            let r = &results[k * variants.len() + i];
+            let routing_name = format!("{routing:?}");
+            println!(
+                "  {:>11} {:>9} {:>14.1} {:>11.2} {:>10.3}",
+                routing_name,
+                if pa { "yes" } else { "no" },
+                r.avg_latency_cycles,
+                r.throughput(),
+                r.normalized_power
+            );
+            csv.row(vec![
+                (*name).into(),
+                routing_name,
+                pa.to_string(),
+                format!("{:.2}", r.avg_latency_cycles),
+                format!("{:.4}", r.throughput()),
+                format!("{:.4}", r.normalized_power),
+            ]);
         }
     }
     println!("\nCSV:\n{}", csv.as_str());

@@ -9,16 +9,16 @@
 //! savings survive long-range-dependent burstiness, across the policy's
 //! window sizes.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin ext_selfsimilar [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin ext_selfsimilar [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
 use lumen_core::prelude::*;
-use lumen_desim::Rng;
 use lumen_stats::csv::CsvBuilder;
-use lumen_traffic::{SelfSimilarConfig, SelfSimilarSource};
+use lumen_traffic::SelfSimilarConfig;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Extension", "power-aware links under self-similar traffic");
 
     let ss = SelfSimilarConfig::ethernet_like();
@@ -32,22 +32,36 @@ fn main() {
 
     let measure = scale.cycles(200_000);
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
-
-    let build_source = |config: &SystemConfig| {
-        Box::new(SelfSimilarSource::new(
-            &config.noc,
-            ss,
-            Pattern::Uniform,
-            size,
-            Rng::seed_from(config.seed),
-        ))
+    let workload = || Workload::SelfSimilar {
+        config: ss,
+        pattern: Pattern::Uniform,
+        size,
     };
 
-    let base_config = SystemConfig::paper_default().non_power_aware();
-    let baseline = Experiment::new(base_config.clone())
-        .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-        .measure_cycles(measure)
-        .run(build_source(&base_config));
+    // Point 0 is the non-power-aware baseline; points 1.. sweep Tw.
+    let windows = [500u64, 1_000, 2_000, 5_000];
+    let mut points = vec![Point::new(
+        "baseline",
+        Experiment::new(SystemConfig::paper_default().non_power_aware())
+            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+            .measure_cycles(measure),
+        workload(),
+    )];
+    points.extend(windows.iter().map(|&tw| {
+        let mut config = SystemConfig::paper_default();
+        config.policy.timing.tw_cycles = tw;
+        Point::new(
+            format!("Tw {tw}"),
+            Experiment::new(config)
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(measure),
+            workload(),
+        )
+    }));
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
+
+    let baseline = &results[0];
     println!(
         "baseline: latency {:.1} cy at {:.2} pkt/cycle delivered",
         baseline.avg_latency_cycles,
@@ -65,14 +79,9 @@ fn main() {
         "\n  {:>9} {:>12} {:>10} {:>8} {:>11}",
         "Tw", "norm latency", "norm power", "PLP", "transitions"
     );
-    for tw in [500u64, 1_000, 2_000, 5_000] {
-        let mut config = SystemConfig::paper_default();
-        config.policy.timing.tw_cycles = tw;
-        let r = Experiment::new(config.clone())
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(measure)
-            .run(build_source(&config));
-        let nl = r.normalized_latency(&baseline);
+    for (i, &tw) in windows.iter().enumerate() {
+        let r = &results[1 + i];
+        let nl = r.normalized_latency(baseline);
         println!(
             "  {tw:>9} {nl:>12.2} {:>10.3} {:>8.3} {:>11}",
             r.normalized_power,

@@ -14,9 +14,9 @@
 //! saturation; VCSEL consistently edges out MQW; the wider ladder saves
 //! more (>90% possible at light load).
 //!
-//! Run: `cargo run --release -p lumen-bench --bin fig5_load [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin fig5_load [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_opto::{Gbps, Volts};
 use lumen_stats::csv::CsvBuilder;
@@ -63,7 +63,8 @@ fn config_for(kind: &str) -> SystemConfig {
 }
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Fig 5(g,h)", "latency and power vs injection rate");
 
     let configs = [
@@ -77,6 +78,30 @@ fn main() {
     let rates: &[f64] = &[0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
 
+    // One batch over every (config, rate) point, plus each config's
+    // zero-load anchor: config c owns the slice starting at
+    // c * (1 + rates.len()).
+    let mut points = Vec::new();
+    for name in configs {
+        let exp = Experiment::new(config_for(name))
+            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+            .measure_cycles(scale.cycles(60_000));
+        points.push(Point::new(
+            format!("{name} zero-load"),
+            exp.clone(),
+            Workload::ZeroLoad { size },
+        ));
+        points.extend(rates.iter().map(|&rate| {
+            Point::new(
+                format!("{name} rate {rate}"),
+                exp.clone(),
+                Workload::Uniform { rate, size },
+            )
+        }));
+    }
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
+
     let mut csv = CsvBuilder::new(vec![
         "config".into(),
         "rate_pkts_per_cycle".into(),
@@ -85,18 +110,16 @@ fn main() {
         "norm_power".into(),
     ]);
 
-    for name in configs {
-        let exp = Experiment::new(config_for(name))
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(scale.cycles(60_000));
-        let zero_load = exp.zero_load_latency(size);
+    let stride = 1 + rates.len();
+    for (c, name) in configs.into_iter().enumerate() {
+        let zero_load = results[c * stride].avg_latency_cycles;
         println!("\n{name}: zero-load latency {zero_load:.1} cycles");
         println!(
             "  {:>5} {:>11} {:>14} {:>11} {:>10}",
             "rate", "throughput", "latency (cyc)", "saturated?", "norm power"
         );
-        for &rate in rates {
-            let r = exp.run_uniform(rate, size);
+        for (i, &rate) in rates.iter().enumerate() {
+            let r = &results[c * stride + 1 + i];
             let sat = if r.is_saturated(zero_load) { "yes" } else { "no" };
             println!(
                 "  {rate:>5.1} {:>11.2} {:>14.1} {:>11} {:>10.3}",

@@ -10,19 +10,44 @@
 //! (transition churn); very long windows hurt latency at medium/heavy load
 //! (sluggish adaptation); ~1000 cycles is the sweet spot.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin fig5_window [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin fig5_window [--quick] [--jobs N]`
 
-use lumen_bench::{banner, baseline_experiment, defaults, paper_experiment, RunScale};
+use lumen_bench::{banner, baseline_experiment, defaults, paper_experiment, run_points, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_stats::csv::CsvBuilder;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Fig 5(a,b,c)", "latency / power / PLP vs policy window size");
 
     let windows: &[u64] = &[100, 500, 1_000, 5_000, 10_000];
     let rates: &[f64] = &[1.25, 3.3, 5.0];
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
+
+    // Per rate: one baseline point, then one point per window size.
+    let mut points = Vec::new();
+    for &rate in rates {
+        points.push(Point::new(
+            format!("rate {rate} baseline"),
+            baseline_experiment(scale),
+            Workload::Uniform { rate, size },
+        ));
+        points.extend(windows.iter().map(|&tw| {
+            let mut config = paper_experiment(scale).config().clone();
+            config.policy.timing.tw_cycles = tw;
+            let exp = Experiment::new(config)
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES));
+            Point::new(
+                format!("rate {rate} Tw {tw}"),
+                exp,
+                Workload::Uniform { rate, size },
+            )
+        }));
+    }
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
 
     let mut csv = CsvBuilder::new(vec![
         "tw_cycles".into(),
@@ -33,8 +58,9 @@ fn main() {
         "transitions".into(),
     ]);
 
-    for &rate in rates {
-        let baseline = baseline_experiment(scale).run_uniform(rate, size);
+    let stride = 1 + windows.len();
+    for (k, &rate) in rates.iter().enumerate() {
+        let baseline = &results[k * stride];
         println!(
             "\nrate {rate} pkt/cycle — baseline latency {:.1} cycles",
             baseline.avg_latency_cycles
@@ -43,15 +69,9 @@ fn main() {
             "  {:>9} {:>12} {:>10} {:>8} {:>11}",
             "Tw", "norm latency", "norm power", "PLP", "transitions"
         );
-        for &tw in windows {
-            let mut exp = paper_experiment(scale);
-            let mut config = exp.config().clone();
-            config.policy.timing.tw_cycles = tw;
-            exp = Experiment::new(config)
-                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-                .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES));
-            let r = exp.run_uniform(rate, size);
-            let nl = r.normalized_latency(&baseline);
+        for (i, &tw) in windows.iter().enumerate() {
+            let r = &results[k * stride + 1 + i];
+            let nl = r.normalized_latency(baseline);
             let np = r.normalized_power;
             println!(
                 "  {tw:>9} {:>12.3} {:>10.3} {:>8.3} {:>11}",

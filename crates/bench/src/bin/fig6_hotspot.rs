@@ -15,9 +15,9 @@
 //! - (d) power over time for VCSEL- vs MQW-based power-aware systems,
 //!   which track the workload with VCSEL slightly lower.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin fig6_hotspot [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin fig6_hotspot [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs, RunScale};
 use lumen_core::prelude::*;
 use lumen_stats::csv::CsvBuilder;
 use lumen_stats::TimeSeries;
@@ -27,7 +27,7 @@ struct Panel {
     result: RunResult,
 }
 
-fn run_variant(scale: RunScale, name: &'static str, tweak: &dyn Fn(&mut SystemConfig)) -> Panel {
+fn variant_point(scale: RunScale, name: &'static str, tweak: &dyn Fn(&mut SystemConfig)) -> Point {
     let mut config = SystemConfig::paper_default();
     tweak(&mut config);
     let total = scale.cycles(800_000);
@@ -35,12 +35,13 @@ fn run_variant(scale: RunScale, name: &'static str, tweak: &dyn Fn(&mut SystemCo
         .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
         .measure_cycles(total)
         .sample_every((total / 100).max(1_000));
-    let result = exp.run_hotspot(PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS));
-    println!(
-        "  {name:<22} avg latency {:>8.1} cy, norm power {:.3}, transitions {}",
-        result.avg_latency_cycles, result.normalized_power, result.transitions
-    );
-    Panel { name, result }
+    Point::new(
+        name,
+        exp,
+        Workload::Hotspot {
+            size: PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS),
+        },
+    )
 }
 
 fn emit_series(csv: &mut CsvBuilder, panel: &str, series_kind: &str, ts: &TimeSeries) {
@@ -55,26 +56,49 @@ fn emit_series(csv: &mut CsvBuilder, panel: &str, series_kind: &str, ts: &TimeSe
 }
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Fig 6", "time-varying hot-spot traffic");
 
-    println!("\nPanels (full horizon = one schedule period):");
-    let panels = vec![
-        run_variant(scale, "non-power-aware", &|c| c.power_aware = false),
-        run_variant(scale, "PA full delays", &|_| {}),
-        run_variant(scale, "PA Tv=0", &|c| {
+    let names = [
+        "non-power-aware",
+        "PA full delays",
+        "PA Tv=0",
+        "PA Tv=Tbr=0",
+        "PA 3-optical-levels",
+        "PA VCSEL",
+    ];
+    let points = vec![
+        variant_point(scale, names[0], &|c| c.power_aware = false),
+        variant_point(scale, names[1], &|_| {}),
+        variant_point(scale, names[2], &|c| {
             c.policy.timing = c.policy.timing.with_zeroed_delays(true, false);
         }),
-        run_variant(scale, "PA Tv=Tbr=0", &|c| {
+        variant_point(scale, names[3], &|c| {
             c.policy.timing = c.policy.timing.with_zeroed_delays(true, true);
         }),
-        run_variant(scale, "PA 3-optical-levels", &|c| {
+        variant_point(scale, names[4], &|c| {
             c.policy.optical_mode = OpticalMode::ThreeLevel;
         }),
-        run_variant(scale, "PA VCSEL", &|c| {
+        variant_point(scale, names[5], &|c| {
             c.transmitter = TransmitterKind::Vcsel;
         }),
     ];
+    println!("\n{} panels on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
+
+    println!("\nPanels (full horizon = one schedule period):");
+    let panels: Vec<Panel> = names
+        .into_iter()
+        .zip(results)
+        .map(|(name, result)| {
+            println!(
+                "  {name:<22} avg latency {:>8.1} cy, norm power {:.3}, transitions {}",
+                result.avg_latency_cycles, result.normalized_power, result.transitions
+            );
+            Panel { name, result }
+        })
+        .collect();
 
     // Fig 6(b) check: transition-delay ablation should change little.
     let full = panels

@@ -10,15 +10,31 @@
 //! follows sustained trends); FFT's slow phases are tracked tightly,
 //! Radix's rapid spikes are low-pass filtered.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin fig7_splash [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin fig7_splash [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_stats::csv::CsvBuilder;
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Fig 7", "SPLASH2-like traces: injection rate and power over time");
+
+    let points: Vec<Point> = SplashApp::ALL
+        .into_iter()
+        .map(|app| {
+            // Two periods of each application's phase structure.
+            let total = scale.cycles(2 * app.period_cycles());
+            let exp = Experiment::new(SystemConfig::paper_default())
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(total)
+                .sample_every((total / 120).max(500));
+            Point::new(app.to_string(), exp, Workload::Splash(app))
+        })
+        .collect();
+    println!("\n{} traces on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
 
     let mut csv = CsvBuilder::new(vec![
         "app".into(),
@@ -27,14 +43,7 @@ fn main() {
         "value".into(),
     ]);
 
-    for app in SplashApp::ALL {
-        // Two periods of each application's phase structure.
-        let total = scale.cycles(2 * app.period_cycles());
-        let exp = Experiment::new(SystemConfig::paper_default())
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(total)
-            .sample_every((total / 120).max(500));
-        let r = exp.run_splash(app);
+    for (app, r) in SplashApp::ALL.into_iter().zip(&results) {
         println!(
             "\n{app}: injected {:.4} pkt/cycle avg (profile mean {:.4}), \
              norm power {:.3}, avg latency {:.1} cy, transitions {}",

@@ -7,14 +7,19 @@
 //! for both transmitter technologies.
 //!
 //! Run: `cargo run --release -p lumen-bench --bin table2`
+//!
+//! Accepts (and ignores) the shared `--quick` / `--jobs` flags so CI can
+//! invoke every harness uniformly; this one evaluates closed-form link
+//! models only, with no simulation runs to scale or parallelize.
 
-use lumen_bench::banner;
+use lumen_bench::{banner, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_opto::link::OperatingPoint;
 use lumen_opto::presets;
 use lumen_stats::csv::CsvBuilder;
 
 fn main() {
+    let _ = BenchArgs::parse();
     banner("Table 2", "link component powers and scaling trends");
 
     for kind in [TransmitterKind::Vcsel, TransmitterKind::MqwModulator] {

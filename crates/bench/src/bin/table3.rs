@@ -17,9 +17,9 @@
 //! Headline claim: >75% average power savings at less than doubled
 //! latency, >60% savings in power-latency product.
 //!
-//! Run: `cargo run --release -p lumen-bench --bin table3 [--quick]`
+//! Run: `cargo run --release -p lumen-bench --bin table3 [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, RunScale};
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_stats::csv::CsvBuilder;
 
@@ -30,8 +30,31 @@ const PAPER: [(SplashApp, f64, f64, f64); 3] = [
 ];
 
 fn main() {
-    let scale = RunScale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
     banner("Table 3", "normalized power-performance on SPLASH2 traces");
+
+    // Per app: a power-aware point, then its baseline.
+    let mut points = Vec::new();
+    for (app, _, _, _) in PAPER {
+        let total = scale.cycles(2 * app.period_cycles());
+        points.push(Point::new(
+            format!("{app} PA"),
+            Experiment::new(SystemConfig::paper_default())
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(total),
+            Workload::Splash(app),
+        ));
+        points.push(Point::new(
+            format!("{app} baseline"),
+            Experiment::new(SystemConfig::paper_default().non_power_aware())
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(total),
+            Workload::Splash(app),
+        ));
+    }
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
 
     let mut csv = CsvBuilder::new(vec![
         "app".into(),
@@ -48,19 +71,12 @@ fn main() {
         "trace", "norm latency", "norm power", "PLP"
     );
     let mut savings = Vec::new();
-    for (app, p_lat, p_pow, p_plp) in PAPER {
-        let total = scale.cycles(2 * app.period_cycles());
-        let pa = Experiment::new(SystemConfig::paper_default())
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(total)
-            .run_splash(app);
-        let base = Experiment::new(SystemConfig::paper_default().non_power_aware())
-            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(total)
-            .run_splash(app);
-        let nl = pa.normalized_latency(&base);
+    for (i, (app, p_lat, p_pow, p_plp)) in PAPER.into_iter().enumerate() {
+        let pa = &results[2 * i];
+        let base = &results[2 * i + 1];
+        let nl = pa.normalized_latency(base);
         let np = pa.normalized_power;
-        let plp = pa.power_latency_product(&base);
+        let plp = pa.power_latency_product(base);
         println!(
             "{:<7} {nl:>12.2} {np:>12.2} {plp:>8.2}   ({p_lat:.2} / {p_pow:.2} / {p_plp:.2})",
             app.to_string()

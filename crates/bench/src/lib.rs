@@ -3,11 +3,16 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the
 //! paper's evaluation section (see DESIGN.md for the index) and prints
 //! both a human-readable table and CSV rows. All binaries accept
-//! `--quick` to shrink the simulated horizon (useful for CI smoke runs);
-//! full runs use the paper-scale horizons.
+//! `--quick` to shrink the simulated horizon (useful for CI smoke runs)
+//! and `--jobs N` / `-j N` to fan simulation points across N worker
+//! threads (default: all available cores); full runs use the paper-scale
+//! horizons. Unknown flags are rejected with a usage message so a typo
+//! (`--qiuck`) cannot silently trigger a full-scale run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use lumen_core::prelude::*;
 
@@ -22,12 +27,11 @@ pub enum RunScale {
 
 impl RunScale {
     /// Parses process arguments (`--quick` selects [`RunScale::Quick`]).
+    ///
+    /// Unknown flags terminate the process with a usage message; this is
+    /// a shorthand for [`BenchArgs::parse`] that keeps only the scale.
     pub fn from_args() -> RunScale {
-        if std::env::args().any(|a| a == "--quick") {
-            RunScale::Quick
-        } else {
-            RunScale::Full
-        }
+        BenchArgs::parse().scale
     }
 
     /// Scales a cycle count.
@@ -37,6 +41,143 @@ impl RunScale {
             RunScale::Quick => (full / 10).max(2_000),
         }
     }
+}
+
+/// The command-line options shared by every harness binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Horizon scaling (`--quick` for smoke runs).
+    pub scale: RunScale,
+    /// Worker threads for the point executor (`--jobs N`, default: all
+    /// available cores).
+    pub jobs: usize,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments, exiting with a usage message on any
+    /// unknown or malformed flag (exit code 2) or after `--help` (0).
+    pub fn parse() -> BenchArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&argv) {
+            Ok(args) => args,
+            Err(ParseOutcome::Help) => {
+                println!("{}", Self::usage());
+                std::process::exit(0);
+            }
+            Err(ParseOutcome::Error(msg)) => {
+                eprintln!("error: {msg}\n\n{}", Self::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (without the program name). Returns the
+    /// options, or a help/error outcome the caller must surface.
+    pub fn try_parse(argv: &[String]) -> Result<BenchArgs, ParseOutcome> {
+        let mut scale = RunScale::Full;
+        let mut jobs = Executor::available().jobs();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(ParseOutcome::Help),
+                "--quick" => scale = RunScale::Quick,
+                "--jobs" | "-j" => {
+                    let value = it.next().ok_or_else(|| {
+                        ParseOutcome::Error(format!("`{arg}` needs a thread count"))
+                    })?;
+                    jobs = parse_jobs(value)?;
+                }
+                other => {
+                    if let Some(value) = other.strip_prefix("--jobs=") {
+                        jobs = parse_jobs(value)?;
+                    } else {
+                        return Err(ParseOutcome::Error(format!("unknown flag `{other}`")));
+                    }
+                }
+            }
+        }
+        Ok(BenchArgs { scale, jobs })
+    }
+
+    /// The executor sized by `--jobs`.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs)
+    }
+
+    /// The usage text shared by every harness binary.
+    pub fn usage() -> String {
+        format!(
+            "usage: <harness> [--quick] [--jobs N] [--help]\n\
+             \n\
+             options:\n\
+             \x20 --quick        ~10x shorter horizons (smoke/CI runs)\n\
+             \x20 --jobs N, -j N worker threads for simulation points\n\
+             \x20                (default: all available cores, here {})\n\
+             \x20 --help, -h     show this message",
+            Executor::available().jobs()
+        )
+    }
+}
+
+/// Why [`BenchArgs::try_parse`] did not return options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// `--help` was requested.
+    Help,
+    /// A flag was unknown or malformed.
+    Error(String),
+}
+
+fn parse_jobs(value: &str) -> Result<usize, ParseOutcome> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ParseOutcome::Error(format!(
+            "`--jobs` needs a positive integer, got `{value}`"
+        ))),
+    }
+}
+
+/// Runs `points` on `executor`, printing one progress line per completed
+/// point, and returns the results in submission order.
+///
+/// # Panics
+///
+/// Panics (after reporting every failure) if any point's simulation
+/// panicked.
+pub fn run_points(executor: &Executor, points: &[Point]) -> Vec<RunResult> {
+    let done = AtomicUsize::new(0);
+    let total = points.len();
+    let results = executor.run_with_progress(points, |pr| {
+        let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let status = if pr.run_result().is_some() { "ok" } else { "FAILED" };
+        eprintln!(
+            "  [{k:>3}/{total}] {:<28} {status:>6}  {:.1}s",
+            pr.label,
+            pr.elapsed.as_secs_f64()
+        );
+    });
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|pr| {
+            pr.outcome
+                .as_ref()
+                .err()
+                .map(|e| format!("  {}: {e}", pr.label))
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {total} points failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    results
+        .into_iter()
+        .map(|pr| match pr.outcome {
+            Ok(r) => r,
+            Err(_) => unreachable!("failures checked above"),
+        })
+        .collect()
 }
 
 /// The paper's defaults for synthetic uniform-random experiments.
@@ -90,5 +231,77 @@ mod tests {
         assert!(e.config().power_aware);
         let b = baseline_experiment(RunScale::Quick);
         assert!(!b.config().power_aware);
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_defaults() {
+        let a = BenchArgs::try_parse(&[]).unwrap();
+        assert_eq!(a.scale, RunScale::Full);
+        assert_eq!(a.jobs, Executor::available().jobs());
+    }
+
+    #[test]
+    fn args_quick_and_jobs_forms() {
+        for form in [
+            argv(&["--quick", "--jobs", "3"]),
+            argv(&["--jobs=3", "--quick"]),
+            argv(&["-j", "3", "--quick"]),
+        ] {
+            let a = BenchArgs::try_parse(&form).unwrap();
+            assert_eq!(a.scale, RunScale::Quick, "{form:?}");
+            assert_eq!(a.jobs, 3, "{form:?}");
+        }
+    }
+
+    #[test]
+    fn args_reject_typos_and_bad_values() {
+        // A typo must not silently run full-scale.
+        for bad in [
+            argv(&["--qiuck"]),
+            argv(&["--jobs"]),
+            argv(&["--jobs", "zero"]),
+            argv(&["--jobs=0"]),
+            argv(&["extra"]),
+        ] {
+            match BenchArgs::try_parse(&bad) {
+                Err(ParseOutcome::Error(_)) => {}
+                other => panic!("{bad:?} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn args_help() {
+        assert_eq!(
+            BenchArgs::try_parse(&argv(&["--help"])),
+            Err(ParseOutcome::Help)
+        );
+        assert!(BenchArgs::usage().contains("--jobs"));
+    }
+
+    #[test]
+    fn run_points_reports_in_order() {
+        let mut config = SystemConfig::paper_default();
+        config.noc = lumen_noc::NocConfig::small_for_tests();
+        let exp = Experiment::new(config).warmup_cycles(200).measure_cycles(1_000);
+        let points: Vec<Point> = (0..3)
+            .map(|i| {
+                Point::new(
+                    format!("p{i}"),
+                    exp.clone(),
+                    Workload::Uniform {
+                        rate: 0.05,
+                        size: PacketSize::Fixed(4),
+                    },
+                )
+            })
+            .collect();
+        let results = run_points(&Executor::new(2), &points);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.packets_delivered > 0));
     }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod exec;
 pub mod results;
 pub mod runner;
 pub mod sim;
@@ -50,6 +51,7 @@ pub mod sweep;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::config::SystemConfig;
+    pub use crate::exec::{Executor, Point, PointResult, Workload};
     pub use crate::results::RunResult;
     pub use crate::runner::Experiment;
     pub use crate::sim::PowerAwareSim;
@@ -61,6 +63,7 @@ pub mod prelude {
 }
 
 pub use config::SystemConfig;
+pub use exec::{Executor, Point, PointError, PointResult, Workload};
 pub use results::RunResult;
 pub use runner::Experiment;
 pub use sim::PowerAwareSim;

@@ -8,6 +8,10 @@ use lumen_traffic::{
     PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource,
 };
 
+/// The injection rate (packets/cycle) of the near-idle run that anchors
+/// the paper's saturation-throughput definition (§4.1).
+pub const ZERO_LOAD_RATE: f64 = 0.01;
+
 /// A configured experiment: one system, a warmup phase whose statistics
 /// are discarded, and a measurement phase.
 #[derive(Debug, Clone)]
@@ -46,6 +50,13 @@ impl Experiment {
     /// over-time figures).
     pub fn sample_every(mut self, cycles: u64) -> Self {
         self.sample_every = Some(cycles);
+        self
+    }
+
+    /// Replaces the master seed (used by the parallel executor to give
+    /// each batch point its own derived stream).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
         self
     }
 
@@ -133,10 +144,11 @@ impl Experiment {
         self.run(Box::new(source))
     }
 
-    /// Measures the zero-load latency: a near-idle run whose mean latency
-    /// anchors the paper's saturation-throughput definition.
+    /// Measures the zero-load latency: a near-idle run (at
+    /// [`ZERO_LOAD_RATE`]) whose mean latency anchors the paper's
+    /// saturation-throughput definition.
     pub fn zero_load_latency(&self, size: PacketSize) -> f64 {
-        let result = self.run_uniform(0.01, size);
+        let result = self.run_uniform(ZERO_LOAD_RATE, size);
         result.avg_latency_cycles
     }
 }

@@ -6,9 +6,10 @@
 //! [`LoadSweep::saturation_throughput`] locates that crossover by
 //! bisection over measured points.
 
+use crate::exec::{Executor, Point, Workload};
 use crate::results::RunResult;
 use crate::runner::Experiment;
-use lumen_traffic::{PacketSize, Pattern, RateProfile};
+use lumen_traffic::PacketSize;
 use serde::{Deserialize, Serialize};
 
 /// One measured point of a load sweep.
@@ -41,22 +42,52 @@ impl LoadSweep {
     ///
     /// Panics if `rates` is empty or unsorted.
     pub fn run(experiment: &Experiment, rates: &[f64], size: PacketSize) -> LoadSweep {
+        Self::run_with(&Executor::new(1), experiment, rates, size)
+    }
+
+    /// Like [`LoadSweep::run`], but fans the zero-load anchor and every
+    /// rate point across `executor`'s worker threads. Results are
+    /// bit-identical regardless of the executor's thread count (see
+    /// [`crate::exec`] for the determinism contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or unsorted, or if any point's
+    /// simulation panics.
+    pub fn run_with(
+        executor: &Executor,
+        experiment: &Experiment,
+        rates: &[f64],
+        size: PacketSize,
+    ) -> LoadSweep {
         assert!(!rates.is_empty(), "sweep needs at least one rate");
         assert!(
             rates.windows(2).all(|w| w[0] < w[1]),
             "rates must be strictly increasing"
         );
-        let zero_load_latency = experiment.zero_load_latency(size);
+        // Point 0 is the zero-load anchor; points 1.. are the rate sweep.
+        let mut batch = vec![Point::new(
+            "zero-load",
+            experiment.clone(),
+            Workload::ZeroLoad { size },
+        )];
+        batch.extend(rates.iter().map(|&offered| {
+            Point::new(
+                format!("rate {offered}"),
+                experiment.clone(),
+                Workload::Uniform {
+                    rate: offered,
+                    size,
+                },
+            )
+        }));
+        let mut results = executor.run(&batch).into_iter();
+        let zero = results.next().expect("zero-load point");
+        let zero_load_latency = zero.expect_ok().avg_latency_cycles;
         let points = rates
             .iter()
-            .map(|&offered| {
-                let r = experiment.run_synthetic(
-                    Pattern::Uniform,
-                    RateProfile::Constant(offered),
-                    size,
-                );
-                SweepPoint::from_result(offered, &r)
-            })
+            .zip(results)
+            .map(|(&offered, pr)| SweepPoint::from_result(offered, pr.expect_ok()))
             .collect();
         LoadSweep {
             zero_load_latency,

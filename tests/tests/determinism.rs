@@ -55,6 +55,67 @@ fn transmitter_changes_power_not_traffic() {
 }
 
 #[test]
+fn load_sweep_parallel_matches_serial() {
+    // The executor's contract: thread count must not change any result
+    // bit. Run the same sweep serially and on four workers and compare
+    // every RunResult-derived field.
+    let exp = Experiment::new(config(42))
+        .warmup_cycles(500)
+        .measure_cycles(4_000);
+    let rates = [0.1, 0.3, 0.6];
+    let size = PacketSize::Uniform(2, 8);
+    let serial = LoadSweep::run_with(&Executor::new(1), &exp, &rates, size);
+    let parallel = LoadSweep::run_with(&Executor::new(4), &exp, &rates, size);
+    assert_eq!(serial.zero_load_latency, parallel.zero_load_latency);
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(s.offered, p.offered);
+        assert_eq!(s.throughput, p.throughput);
+        assert_eq!(s.latency_cycles, p.latency_cycles);
+        assert_eq!(s.normalized_power, p.normalized_power);
+    }
+    // And the default serial entry point is the jobs=1 executor path.
+    let via_run = LoadSweep::run(&exp, &rates, size);
+    assert_eq!(via_run.zero_load_latency, serial.zero_load_latency);
+}
+
+#[test]
+fn executor_batch_parallel_matches_serial_fields() {
+    // Same property at the raw executor level, over every scalar field
+    // of RunResult (not just the sweep projection).
+    let points: Vec<Point> = [0.1, 0.3, 0.5]
+        .iter()
+        .map(|&rate| {
+            Point::new(
+                format!("rate {rate}"),
+                Experiment::new(config(7))
+                    .warmup_cycles(500)
+                    .measure_cycles(4_000),
+                Workload::Uniform {
+                    rate,
+                    size: PacketSize::Fixed(4),
+                },
+            )
+        })
+        .collect();
+    let serial = Executor::new(1).run(&points);
+    let parallel = Executor::new(4).run(&points);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (s, p) = (s.expect_ok(), p.expect_ok());
+        assert_eq!(s.cycles, p.cycles);
+        assert_eq!(s.packets_injected, p.packets_injected);
+        assert_eq!(s.packets_delivered, p.packets_delivered);
+        assert_eq!(s.avg_latency_cycles, p.avg_latency_cycles);
+        assert_eq!(s.p99_latency_cycles, p.p99_latency_cycles);
+        assert_eq!(s.max_latency_cycles, p.max_latency_cycles);
+        assert_eq!(s.avg_power_mw, p.avg_power_mw);
+        assert_eq!(s.baseline_power_mw, p.baseline_power_mw);
+        assert_eq!(s.normalized_power, p.normalized_power);
+        assert_eq!(s.transitions, p.transitions);
+    }
+}
+
+#[test]
 fn system_config_serde_round_trip() {
     let c = config(9);
     let json = serde_json::to_string(&c).expect("serialize");

@@ -1,0 +1,241 @@
+//! Vendored minimal stand-in for `criterion`, used because this workspace
+//! builds fully offline (no crates.io access).
+//!
+//! Implements just enough of the criterion API for the benches under
+//! `crates/bench/benches/`: `criterion_group!` / `criterion_main!`,
+//! benchmark groups, `Bencher::iter` / `iter_batched`, and element/byte
+//! throughput reporting. Statistics are deliberately simple — a warmup
+//! phase sizes the measurement loop, one timed run reports mean
+//! time/iteration — with no outlier analysis, no HTML reports, and no
+//! saved baselines (`target/criterion/` is never written).
+
+use std::time::{Duration, Instant};
+
+/// How `Bencher::iter_batched` should batch inputs. All variants behave
+/// identically here (one setup per measured invocation).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing driver passed to each benchmark closure.
+pub struct Bencher {
+    iters_hint: u64,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate cost to size the measured loop.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let target = Duration::from_millis(100).as_nanos();
+        let iters = (target / per_iter.max(1)).clamp(1, 5_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+        self.iters_hint = iters;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Warmup one invocation to estimate cost.
+        let input = setup();
+        let probe = Instant::now();
+        std::hint::black_box(routine(input));
+        let per_iter = probe.elapsed();
+        let target = Duration::from_millis(100);
+        let iters = if per_iter.is_zero() {
+            1_000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some((total, iters));
+        self.iters_hint = iters;
+    }
+}
+
+/// One named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is automatic here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters_hint: 0,
+        measured: None,
+    };
+    f(&mut b);
+    match b.measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let thrpt = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.3} Melem/s", n as f64 / ns_per_iter * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {:.3} MiB/s", n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<50} time: {} ({iters} iters){thrpt}",
+                format_ns(ns_per_iter)
+            );
+        }
+        _ => println!("{name:<50} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, like real criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_measurement() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_reports_measurement() {
+        let mut c = Criterion::default();
+        c.bench_function("sum_vec", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

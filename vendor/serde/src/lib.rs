@@ -1,0 +1,424 @@
+//! Vendored minimal stand-in for `serde`, used because this workspace
+//! builds fully offline (no crates.io access).
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this facade
+//! uses one simplified self-describing data model, [`Value`]:
+//!
+//! - `Serialize` converts a value *to* a [`Value`] tree;
+//! - `Deserialize` reconstructs a value *from* a [`Value`] tree.
+//!
+//! The derive macros (re-exported from the sibling vendored
+//! `serde_derive`) generate those conversions for the struct/enum shapes
+//! used in this workspace. `serde_json` (also vendored) prints and parses
+//! [`Value`] as real JSON, so round-trips are exact — including `f64`
+//! fields, which are formatted with shortest-round-trip precision.
+//!
+//! Supported API surface (intentionally small): the two traits, the
+//! derive macros, and the helpers the generated code calls. Anything
+//! else the real serde offers is out of scope; extend it here if a new
+//! use appears.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The simplified serde data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets this value as an externally-tagged enum: a single-entry
+    /// map `{ "Variant": payload }`.
+    pub fn as_enum_map(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Error {
+        Error::custom(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// An unknown enum variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+        Error::custom(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a struct field in a map value (helper for generated code).
+pub fn map_field<'v>(
+    map: &'v [(String, Value)],
+    field: &str,
+    ty: &str,
+) -> Result<&'v Value, Error> {
+    map.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{field}` for {ty}")))
+}
+
+/// Checks that `v` is a sequence of exactly `len` elements (helper for
+/// generated tuple-shape code).
+pub fn seq_of_len<'v>(v: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], Error> {
+    let items = v
+        .as_seq()
+        .ok_or_else(|| Error::expected("sequence", ty))?;
+    if items.len() != len {
+        return Err(Error::custom(format!(
+            "expected {len} elements for {ty}, got {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Converts a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Builds the [`Value`] tree representing `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstructs a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `v` back into `Self`.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for i64")))?,
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = seq_of_len(v, N, "array")?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::expected("fixed-length array", "array"))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "VecDeque"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr; $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let items = seq_of_len(v, $len, "tuple")?;
+                Ok(($($t::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1; A.0);
+impl_tuple!(2; A.0, B.1);
+impl_tuple!(3; A.0, B.1, C.2);
+impl_tuple!(4; A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()).unwrap(), 42);
+        assert_eq!(
+            f64::deserialize_value(&0.1f64.serialize_value()).unwrap(),
+            0.1
+        );
+        assert_eq!(
+            i32::deserialize_value(&(-7i32).serialize_value()).unwrap(),
+            -7
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let v: Vec<(u64, f64)> = vec![(1, 0.5), (2, 1.5)];
+        let round: Vec<(u64, f64)> = Vec::deserialize_value(&v.serialize_value()).unwrap();
+        assert_eq!(round, v);
+        let o: Option<String> = Some("hi".to_string());
+        assert_eq!(
+            Option::<String>::deserialize_value(&o.serialize_value()).unwrap(),
+            o
+        );
+        assert_eq!(
+            Option::<String>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let err = u32::deserialize_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("u32"), "{err}");
+        let err = map_field(&[], "rate", "Config").unwrap_err();
+        assert!(err.to_string().contains("rate"), "{err}");
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored in-tree `serde` facade.
+//!
+//! This workspace builds fully offline, so the real serde_derive (and its
+//! syn/quote dependency tree) is unavailable. This crate hand-parses the
+//! token stream of the deriving item — no helper crates — and supports
+//! exactly the shapes the Lumen workspace uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (any arity, including newtypes),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants.
+//!
+//! Generics, `where` clauses, and `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the offending item. The
+//! generated code targets the simplified `serde::Value` data model of the
+//! vendored facade; see `vendor/serde/src/lib.rs` for the encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("error tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Advances past any `#[...]` attributes starting at `i`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)` starting at `i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(ts: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("expected item name")?;
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (vendored): generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` item `{name}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).ok_or("expected field name")?;
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        let mut angle = 0i64;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut angle = 0i64;
+    let mut segments = 0usize;
+    let mut segment_has_tokens = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if segment_has_tokens {
+                    segments += 1;
+                }
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).ok_or("expected variant name")?;
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("explicit discriminant on `{name}` unsupported"))
+            }
+            Some(_) => return Err(format!("unexpected token after variant `{name}`")),
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), serde::Serialize::serialize_value(&self.{f})),",
+                        f
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|k| format!("serde::Serialize::serialize_value(&self.{k}),"))
+                .collect();
+            format!("serde::Value::Seq(vec![{entries}])")
+        }
+        ItemKind::UnitStruct => "serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => serde::Value::Map(vec![({vname:?}.to_string(), \
+             serde::Serialize::serialize_value(f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::serialize_value({b}),"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), \
+                 serde::Value::Seq(vec![{items}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), serde::Serialize::serialize_value({f})),")
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => serde::Value::Map(vec![({vname:?}.to_string(), \
+                 serde::Value::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::deserialize_value(serde::map_field(map, {f:?}, {name:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let map = v.as_map().ok_or_else(|| serde::Error::expected(\"map\", {name:?}))?;\n\
+                 core::result::Result::Ok({name} {{ {entries} }})"
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "core::result::Result::Ok({name}(serde::Deserialize::deserialize_value(v)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|k| format!("serde::Deserialize::deserialize_value(&items[{k}])?,"))
+                .collect();
+            format!(
+                "let items = serde::seq_of_len(v, {n}, {name:?})?;\n\
+                 core::result::Result::Ok({name}({entries}))"
+            )
+        }
+        ItemKind::UnitStruct => format!("core::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &serde::Value) -> core::result::Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("{:?} => return core::result::Result::Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.shape {
+            VariantShape::Unit => None,
+            VariantShape::Tuple(1) => Some(format!(
+                "{:?} => core::result::Result::Ok({name}::{}(serde::Deserialize::deserialize_value(inner)?)),",
+                v.name, v.name
+            )),
+            VariantShape::Tuple(n) => {
+                let entries: String = (0..*n)
+                    .map(|k| format!("serde::Deserialize::deserialize_value(&items[{k}])?,"))
+                    .collect();
+                Some(format!(
+                    "{:?} => {{ let items = serde::seq_of_len(inner, {n}, {name:?})?; \
+                     core::result::Result::Ok({name}::{}({entries})) }},",
+                    v.name, v.name
+                ))
+            }
+            VariantShape::Named(fields) => {
+                let entries: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::deserialize_value(serde::map_field(map, {f:?}, {name:?})?)?,"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{:?} => {{ let map = inner.as_map().ok_or_else(|| \
+                     serde::Error::expected(\"map\", {name:?}))?; \
+                     core::result::Result::Ok({name}::{} {{ {entries} }}) }},",
+                    v.name, v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "if let core::option::Option::Some(s) = v.as_str() {{\n\
+             match s {{ {unit_arms} _ => return core::result::Result::Err(\
+                 serde::Error::unknown_variant(s, {name:?})) }}\n\
+         }}\n\
+         let (key, inner) = v.as_enum_map().ok_or_else(|| \
+             serde::Error::expected(\"enum map\", {name:?}))?;\n\
+         match key {{ {data_arms} _ => core::result::Result::Err(\
+             serde::Error::unknown_variant(key, {name:?})) }}"
+    )
+}
