@@ -42,39 +42,51 @@ fn main() {
     let disciplines = [("DVS", dvs_config as fn() -> SystemConfig), ("on/off", onoff_config)];
 
     // Per workload: one baseline point, then one point per discipline.
+    // Each workload's baseline and disciplines share a comparison group
+    // so the normalized columns compare policies under one traffic
+    // realization.
     let steady_rates = [0.25, 1.25, 3.0];
     let bursty = RateProfile::Phases(vec![(2_000, 2.0), (38_000, 0.02)]);
     let mut points = Vec::new();
-    for rate in steady_rates {
-        points.push(Point::new(
-            format!("uniform {rate} baseline"),
-            experiment(SystemConfig::paper_default().non_power_aware()),
-            Workload::Uniform { rate, size },
-        ));
+    for (k, rate) in steady_rates.into_iter().enumerate() {
+        points.push(
+            Point::new(
+                format!("uniform {rate} baseline"),
+                experiment(SystemConfig::paper_default().non_power_aware()),
+                Workload::Uniform { rate, size },
+            )
+            .in_group(k as u64),
+        );
         points.extend(disciplines.iter().map(|(name, config)| {
             Point::new(
                 format!("uniform {rate} {name}"),
                 experiment(config()),
                 Workload::Uniform { rate, size },
             )
+            .in_group(k as u64)
         }));
     }
+    let bursty_group = steady_rates.len() as u64;
     let bursty_workload = |profile: &RateProfile| Workload::Synthetic {
         pattern: Pattern::Uniform,
         profile: profile.clone(),
         size,
     };
-    points.push(Point::new(
-        "bursty baseline",
-        experiment(SystemConfig::paper_default().non_power_aware()),
-        bursty_workload(&bursty),
-    ));
+    points.push(
+        Point::new(
+            "bursty baseline",
+            experiment(SystemConfig::paper_default().non_power_aware()),
+            bursty_workload(&bursty),
+        )
+        .in_group(bursty_group),
+    );
     points.extend(disciplines.iter().map(|(name, config)| {
         Point::new(
             format!("bursty {name}"),
             experiment(config()),
             bursty_workload(&bursty),
         )
+        .in_group(bursty_group)
     }));
     println!("\n{} points on {} threads:", points.len(), args.jobs);
     let results = run_points(&args.executor(), &points);

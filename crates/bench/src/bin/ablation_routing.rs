@@ -36,7 +36,10 @@ fn main() {
         ("tornado", Pattern::Tornado, RateProfile::Constant(1.5)),
     ];
 
-    // Point order: workload-major, then routing, then power-aware.
+    // Point order: workload-major, then routing, then power-aware. The
+    // four variants of one workload share a comparison group (= the
+    // workload's index): their latencies/throughputs are compared head to
+    // head, so they must see the same traffic realization.
     let variants = [
         (RoutingAlgorithm::XY, false),
         (RoutingAlgorithm::XY, true),
@@ -45,7 +48,8 @@ fn main() {
     ];
     let points: Vec<Point> = workloads
         .iter()
-        .flat_map(|(name, pattern, profile)| {
+        .enumerate()
+        .flat_map(|(k, (name, pattern, profile))| {
             variants.into_iter().map(move |(routing, pa)| {
                 let mut config = SystemConfig::paper_default();
                 config.noc.routing = routing;
@@ -62,6 +66,7 @@ fn main() {
                         size,
                     },
                 )
+                .in_group(k as u64)
             })
         })
         .collect();

@@ -38,7 +38,9 @@ fn main() {
         size,
     };
 
-    // Point 0 is the non-power-aware baseline; points 1.. sweep Tw.
+    // Point 0 is the non-power-aware baseline; points 1.. sweep Tw. Every
+    // point is normalized against the baseline, so all share comparison
+    // group 0 (one burst realization drives the whole table).
     let windows = [500u64, 1_000, 2_000, 5_000];
     let mut points = vec![Point::new(
         "baseline",
@@ -46,7 +48,8 @@ fn main() {
             .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
             .measure_cycles(measure),
         workload(),
-    )];
+    )
+    .in_group(0)];
     points.extend(windows.iter().map(|&tw| {
         let mut config = SystemConfig::paper_default();
         config.policy.timing.tw_cycles = tw;
@@ -57,6 +60,7 @@ fn main() {
                 .measure_cycles(measure),
             workload(),
         )
+        .in_group(0)
     }));
     println!("\n{} points on {} threads:", points.len(), args.jobs);
     let results = run_points(&args.executor(), &points);

@@ -80,23 +80,26 @@ fn main() {
 
     // One batch over every (config, rate) point, plus each config's
     // zero-load anchor: config c owns the slice starting at
-    // c * (1 + rates.len()).
+    // c * (1 + rates.len()). The six configs are compared at each rate,
+    // so points share a comparison group per rate (group 0 = zero-load,
+    // group 1 + i = rates[i]) and every curve is driven by the same
+    // traffic realizations.
     let mut points = Vec::new();
     for name in configs {
         let exp = Experiment::new(config_for(name))
             .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
             .measure_cycles(scale.cycles(60_000));
-        points.push(Point::new(
-            format!("{name} zero-load"),
-            exp.clone(),
-            Workload::ZeroLoad { size },
-        ));
-        points.extend(rates.iter().map(|&rate| {
+        points.push(
+            Point::new(format!("{name} zero-load"), exp.clone(), Workload::ZeroLoad { size })
+                .in_group(0),
+        );
+        points.extend(rates.iter().enumerate().map(|(i, &rate)| {
             Point::new(
                 format!("{name} rate {rate}"),
                 exp.clone(),
                 Workload::Uniform { rate, size },
             )
+            .in_group(1 + i as u64)
         }));
     }
     println!("\n{} points on {} threads:", points.len(), args.jobs);

@@ -22,14 +22,19 @@ fn main() {
     let rates: &[f64] = &[1.25, 3.3, 5.05];
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
 
-    // Per rate: one baseline point, then one point per threshold.
+    // Per rate: one baseline point, then one point per threshold. Each
+    // rate's baseline and variants share a comparison group so the
+    // normalized columns see one traffic realization.
     let mut points = Vec::new();
-    for &rate in rates {
-        points.push(Point::new(
-            format!("rate {rate} baseline"),
-            baseline_experiment(scale),
-            Workload::Uniform { rate, size },
-        ));
+    for (k, &rate) in rates.iter().enumerate() {
+        points.push(
+            Point::new(
+                format!("rate {rate} baseline"),
+                baseline_experiment(scale),
+                Workload::Uniform { rate, size },
+            )
+            .in_group(k as u64),
+        );
         points.extend(averages.iter().map(|&avg| {
             let mut config = SystemConfig::paper_default();
             config.policy.thresholds = ThresholdTable::uniform(avg, 0.1);
@@ -41,6 +46,7 @@ fn main() {
                 exp,
                 Workload::Uniform { rate, size },
             )
+            .in_group(k as u64)
         }));
     }
     println!("\n{} points on {} threads:", points.len(), args.jobs);

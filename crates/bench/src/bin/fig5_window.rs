@@ -25,14 +25,20 @@ fn main() {
     let rates: &[f64] = &[1.25, 3.3, 5.0];
     let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
 
-    // Per rate: one baseline point, then one point per window size.
+    // Per rate: one baseline point, then one point per window size. The
+    // baseline and every window variant at one rate share a comparison
+    // group (= the rate's index), so each normalized column is measured
+    // under a single traffic realization.
     let mut points = Vec::new();
-    for &rate in rates {
-        points.push(Point::new(
-            format!("rate {rate} baseline"),
-            baseline_experiment(scale),
-            Workload::Uniform { rate, size },
-        ));
+    for (k, &rate) in rates.iter().enumerate() {
+        points.push(
+            Point::new(
+                format!("rate {rate} baseline"),
+                baseline_experiment(scale),
+                Workload::Uniform { rate, size },
+            )
+            .in_group(k as u64),
+        );
         points.extend(windows.iter().map(|&tw| {
             let mut config = paper_experiment(scale).config().clone();
             config.policy.timing.tw_cycles = tw;
@@ -44,6 +50,7 @@ fn main() {
                 exp,
                 Workload::Uniform { rate, size },
             )
+            .in_group(k as u64)
         }));
     }
     println!("\n{} points on {} threads:", points.len(), args.jobs);

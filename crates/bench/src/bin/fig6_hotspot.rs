@@ -35,6 +35,8 @@ fn variant_point(scale: RunScale, name: &'static str, tweak: &dyn Fn(&mut System
         .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
         .measure_cycles(total)
         .sample_every((total / 100).max(1_000));
+    // Every panel is compared against the others over the same schedule,
+    // so all points share one comparison group (one traffic realization).
     Point::new(
         name,
         exp,
@@ -42,6 +44,7 @@ fn variant_point(scale: RunScale, name: &'static str, tweak: &dyn Fn(&mut System
             size: PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS),
         },
     )
+    .in_group(0)
 }
 
 fn emit_series(csv: &mut CsvBuilder, panel: &str, series_kind: &str, ts: &TimeSeries) {

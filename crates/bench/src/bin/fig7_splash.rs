@@ -23,14 +23,17 @@ fn main() {
 
     let points: Vec<Point> = SplashApp::ALL
         .into_iter()
-        .map(|app| {
-            // Two periods of each application's phase structure.
+        .enumerate()
+        .map(|(i, app)| {
+            // Two periods of each application's phase structure. Grouping
+            // by app keeps each trace's stream aligned with table3's runs
+            // of the same application.
             let total = scale.cycles(2 * app.period_cycles());
             let exp = Experiment::new(SystemConfig::paper_default())
                 .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
                 .measure_cycles(total)
                 .sample_every((total / 120).max(500));
-            Point::new(app.to_string(), exp, Workload::Splash(app))
+            Point::new(app.to_string(), exp, Workload::Splash(app)).in_group(i as u64)
         })
         .collect();
     println!("\n{} traces on {} threads:", points.len(), args.jobs);

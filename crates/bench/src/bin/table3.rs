@@ -34,24 +34,32 @@ fn main() {
     let scale = args.scale;
     banner("Table 3", "normalized power-performance on SPLASH2 traces");
 
-    // Per app: a power-aware point, then its baseline.
+    // Per app: a power-aware point, then its baseline. The pair shares a
+    // comparison group (= the app's index) so each normalized row divides
+    // two runs of the *same* traffic realization.
     let mut points = Vec::new();
-    for (app, _, _, _) in PAPER {
+    for (i, (app, _, _, _)) in PAPER.into_iter().enumerate() {
         let total = scale.cycles(2 * app.period_cycles());
-        points.push(Point::new(
-            format!("{app} PA"),
-            Experiment::new(SystemConfig::paper_default())
-                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-                .measure_cycles(total),
-            Workload::Splash(app),
-        ));
-        points.push(Point::new(
-            format!("{app} baseline"),
-            Experiment::new(SystemConfig::paper_default().non_power_aware())
-                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-                .measure_cycles(total),
-            Workload::Splash(app),
-        ));
+        points.push(
+            Point::new(
+                format!("{app} PA"),
+                Experiment::new(SystemConfig::paper_default())
+                    .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                    .measure_cycles(total),
+                Workload::Splash(app),
+            )
+            .in_group(i as u64),
+        );
+        points.push(
+            Point::new(
+                format!("{app} baseline"),
+                Experiment::new(SystemConfig::paper_default().non_power_aware())
+                    .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                    .measure_cycles(total),
+                Workload::Splash(app),
+            )
+            .in_group(i as u64),
+        );
     }
     println!("\n{} points on {} threads:", points.len(), args.jobs);
     let results = run_points(&args.executor(), &points);

@@ -8,11 +8,18 @@
 //! change with the thread count is the answer. This module guarantees that
 //! with three rules:
 //!
-//! 1. **Per-point seeds are positional.** Each [`Point`] runs with a seed
-//!    derived from `(base seed, submission index)` via [`derive_seed`] —
-//!    never from scheduling order, thread identity, or time. A batch run
-//!    with `jobs = 1` is therefore bit-identical to the same batch with
-//!    `jobs = N` (asserted in `tests/tests/determinism.rs`).
+//! 1. **Per-point seeds are keyed by submission data.** Each [`Point`]
+//!    runs with a seed derived from `(base seed, stream key)` via
+//!    [`derive_seed`] — never from scheduling order, thread identity, or
+//!    time. The stream key defaults to the point's submission index, so
+//!    distinct points of a sweep see distinct traffic; points that a
+//!    harness intends to *compare* (a power-aware run against its
+//!    baseline, a variant panel against the reference) should share an
+//!    explicit comparison group via [`Point::in_group`], which makes them
+//!    share one traffic realization (common random numbers) so their
+//!    normalized metrics measure the policy, not sampling noise. Either
+//!    way a batch run with `jobs = 1` is bit-identical to the same batch
+//!    with `jobs = N` (asserted in `tests/tests/determinism.rs`).
 //! 2. **Results return in submission order**, regardless of which worker
 //!    finished first.
 //! 3. **A panicking point is isolated**: it yields a [`PointError`] entry
@@ -70,20 +77,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Derives the seed for the point at `index` of a batch whose experiments
-/// carry `base` as their configured seed.
+/// Derives the seed for the point whose stream key is `stream` (its
+/// comparison group if set, its submission index otherwise) in a batch
+/// whose experiments carry `base` as their configured seed.
 ///
-/// The mix is splitmix64 over `base ^ f(index)` — cheap, stateless, and
-/// well-spread, so neighbouring indices get unrelated streams. Index 0
-/// does **not** map to `base` itself: every point of a batch, including
-/// the first, runs on a derived stream by design, making "same batch,
-/// same thread count or not" the only identity that holds.
-pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d);
+/// The mix is splitmix64 over `base ^ f(stream)` — cheap, stateless, and
+/// well-spread, so neighbouring keys get unrelated streams. Key 0 does
+/// **not** map to `base` itself: every point of a batch, including the
+/// first, runs on a derived stream by design, making "same batch, same
+/// thread count or not" the only identity that holds.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
+
+/// Stream constant separating the [`Workload::SelfSimilar`] source RNG
+/// from the experiment's own derived streams (which seed directly from
+/// the per-point seed); any fixed key no submission index can reach works.
+const SELF_SIMILAR_SOURCE_STREAM: u64 = u64::MAX;
 
 /// The traffic driven through one experiment point.
 ///
@@ -142,22 +155,43 @@ pub struct Point {
     pub experiment: Experiment,
     /// The traffic to drive.
     pub workload: Workload,
+    /// Comparison group, if this point's metrics will be compared against
+    /// other points of the same group (see [`Point::in_group`]).
+    pub group: Option<u64>,
 }
 
 impl Point {
-    /// Builds a point.
+    /// Builds a point. Its traffic stream is keyed by its submission
+    /// index; use [`Point::in_group`] for points meant to be compared.
     pub fn new(label: impl Into<String>, experiment: Experiment, workload: Workload) -> Point {
         Point {
             label: label.into(),
             experiment,
             workload,
+            group: None,
         }
     }
 
-    /// Runs this point as the `index`-th entry of a batch, with the
-    /// positional seed of [`derive_seed`].
+    /// Assigns this point to comparison group `group`: all points of a
+    /// batch sharing a group (and a configured base seed) run on the
+    /// *same* derived traffic stream, so paired metrics — normalized
+    /// latency/power of a power-aware run against its baseline, a variant
+    /// against the reference — compare the systems under one traffic
+    /// realization (common random numbers) instead of adding sampling
+    /// noise. Points that are *not* compared should keep distinct groups
+    /// (or none, which keys the stream by submission index).
+    pub fn in_group(mut self, group: u64) -> Point {
+        self.group = Some(group);
+        self
+    }
+
+    /// Runs this point as the `index`-th entry of a batch, seeding it via
+    /// [`derive_seed`] from its comparison group (or `index` if ungrouped).
     pub fn run_at_index(&self, index: usize) -> RunResult {
-        let seed = derive_seed(self.experiment.config().seed, index as u64);
+        let seed = derive_seed(
+            self.experiment.config().seed,
+            self.group.unwrap_or(index as u64),
+        );
         let exp = self.experiment.clone().with_seed(seed);
         match &self.workload {
             Workload::Uniform { rate, size } => exp.run_uniform(*rate, *size),
@@ -174,12 +208,16 @@ impl Point {
                 pattern,
                 size,
             } => {
+                // The per-point seed already drives the experiment's own
+                // streams (runner.rs seeds synthetic sources from it), so
+                // the ON/OFF source draws from a further derivation to
+                // stay decorrelated from them.
                 let source = SelfSimilarSource::new(
                     &exp.config().noc,
                     *config,
                     pattern.clone(),
                     *size,
-                    Rng::seed_from(exp.config().seed),
+                    Rng::seed_from(derive_seed(exp.config().seed, SELF_SIMILAR_SOURCE_STREAM)),
                 );
                 exp.run(Box::new(source))
             }
@@ -272,7 +310,9 @@ impl Executor {
 
     /// Like [`Executor::run`], additionally calling `on_done` from the
     /// worker thread as each point finishes (in completion order — use
-    /// `PointResult::index` to relate back to the submission).
+    /// `PointResult::index` to relate back to the submission). A panic in
+    /// the callback is caught and ignored; it does not affect the batch
+    /// or the point's stored result.
     pub fn run_with_progress<F>(&self, points: &[Point], on_done: F) -> Vec<PointResult>
     where
         F: Fn(&PointResult) + Sync,
@@ -289,7 +329,10 @@ impl Executor {
                         break;
                     }
                     let result = run_point(&points[index], index);
-                    on_done(&result);
+                    // The callback runs on the worker thread; a panic in
+                    // it (say a formatting or I/O failure) must not tear
+                    // down the scope and lose the rest of the batch.
+                    let _ = catch_unwind(AssertUnwindSafe(|| on_done(&result)));
                     *slots[index].lock().expect("result slot poisoned") = Some(result);
                 });
             }
@@ -398,6 +441,60 @@ mod tests {
             results[0].expect_ok().packets_injected,
             results[1].expect_ok().packets_injected
         );
+    }
+
+    #[test]
+    fn grouped_points_share_a_traffic_stream() {
+        // A paired comparison: identical workload at different batch
+        // positions, both in group 0, must see the same traffic (common
+        // random numbers) — here with identical systems, so the whole
+        // result is identical.
+        let points: Vec<Point> = rate_points(&[0.3, 0.3])
+            .into_iter()
+            .map(|p| p.in_group(0))
+            .collect();
+        let results = Executor::new(2).run(&points);
+        let (a, b) = (results[0].expect_ok(), results[1].expect_ok());
+        assert_eq!(a.packets_injected, b.packets_injected);
+        assert_eq!(a.avg_latency_cycles, b.avg_latency_cycles);
+        assert_eq!(a.avg_power_mw, b.avg_power_mw);
+    }
+
+    #[test]
+    fn grouped_baseline_pair_is_driven_by_identical_traffic() {
+        // The harness pattern the groups exist for: a power-aware point
+        // and its non-power-aware baseline share a group, so their
+        // normalized metrics compare the policy under one traffic
+        // realization. Identical injected-packet counts witness the
+        // shared stream even though the systems differ.
+        let pa = small_experiment();
+        let mut base_config = pa.config().clone();
+        base_config.power_aware = false;
+        let base = Experiment::new(base_config)
+            .warmup_cycles(500)
+            .measure_cycles(2_000);
+        let workload = Workload::Uniform {
+            rate: 0.2,
+            size: PacketSize::Fixed(4),
+        };
+        let points = vec![
+            Point::new("PA", pa, workload.clone()).in_group(7),
+            Point::new("baseline", base, workload).in_group(7),
+        ];
+        let results = Executor::new(2).run(&points);
+        let (pa, base) = (results[0].expect_ok(), results[1].expect_ok());
+        assert_eq!(pa.packets_injected, base.packets_injected);
+        assert!(base.normalized_power > pa.normalized_power);
+    }
+
+    #[test]
+    fn panicking_progress_callback_does_not_kill_the_batch() {
+        let points = rate_points(&[0.1, 0.2, 0.3]);
+        let results = Executor::new(2).run_with_progress(&points, |_| {
+            panic!("progress callbacks must be survivable");
+        });
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
     }
 
     #[test]

@@ -144,6 +144,8 @@ impl EnergyAccount {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // `proptest` here is the vendored stand-in (vendor/proptest, v0.0.0-lumen):
+    // 64 fixed deterministic cases, no shrinking, no PROPTEST_* reproduction.
     use proptest::prelude::*;
 
     #[test]

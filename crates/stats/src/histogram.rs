@@ -121,6 +121,8 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // `proptest` here is the vendored stand-in (vendor/proptest, v0.0.0-lumen):
+    // 64 fixed deterministic cases, no shrinking, no PROPTEST_* reproduction.
     use proptest::prelude::*;
 
     #[test]

@@ -5,6 +5,8 @@ use lumen_core::prelude::*;
 use lumen_desim::{Picos, Rng};
 use lumen_noc::ids::NodeId;
 use lumen_traffic::TrafficSource;
+// `proptest` here is the vendored stand-in (vendor/proptest, v0.0.0-lumen):
+// 64 fixed deterministic cases, no shrinking, no PROPTEST_* reproduction.
 use proptest::prelude::*;
 
 fn small_config(seed: u64, vcs: u8, tw: u64) -> SystemConfig {
