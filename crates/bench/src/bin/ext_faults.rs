@@ -1,0 +1,170 @@
+//! Extension — link faults and graceful degradation.
+//!
+//! The paper's evaluation assumes perfectly healthy links. Real
+//! opto-electronic plants are not: connectors degrade, and the shared
+//! external laser of an MQW-modulator system can deliver sagging light to
+//! a branch of its splitter tree. This extension injects both fault
+//! classes at increasing intensity and measures what the power-aware
+//! machinery buys in *robustness*: a link pinned to its safe bottom rate
+//! keeps its receiver eye open under starved light (Prec scales with bit
+//! rate, §2.2.1), so the DVS system should deliver packets that the
+//! fixed-10 Gb/s baseline corrupts and drops.
+//!
+//! Every run finishes with the flit/credit conservation auditor, so the
+//! fault path (disable windows, corrupted-packet drops, credit returns
+//! for dropped flits) is proven leak-free at every intensity.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin ext_faults [--quick] [--jobs N]`
+
+use lumen_bench::{banner, defaults, run_points, BenchArgs};
+use lumen_core::prelude::*;
+use lumen_stats::csv::CsvBuilder;
+
+/// One fault intensity of the sweep: mean time between faults per link,
+/// in cycles (0 = that class off).
+struct Intensity {
+    label: &'static str,
+    outage_mtbf: u64,
+    dropout_mtbf: u64,
+}
+
+const INTENSITIES: [Intensity; 4] = [
+    Intensity {
+        label: "off",
+        outage_mtbf: 0,
+        dropout_mtbf: 0,
+    },
+    Intensity {
+        label: "light",
+        outage_mtbf: 200_000,
+        dropout_mtbf: 200_000,
+    },
+    Intensity {
+        label: "moderate",
+        outage_mtbf: 50_000,
+        dropout_mtbf: 50_000,
+    },
+    Intensity {
+        label: "heavy",
+        outage_mtbf: 12_000,
+        dropout_mtbf: 12_000,
+    },
+];
+
+/// Offered uniform load, packets/cycle network-wide: light enough that
+/// fault-induced latency, not congestion, dominates.
+const LOAD: f64 = 0.15;
+
+fn faults_for(intensity: &Intensity) -> FaultConfig {
+    FaultConfig {
+        outage_mtbf_cycles: intensity.outage_mtbf,
+        outage_mean_duration_cycles: 2_000,
+        dropout_mtbf_cycles: intensity.dropout_mtbf,
+        dropout_mean_duration_cycles: 2_000,
+        ..FaultConfig::disabled()
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    banner("Extension", "link fault injection and graceful degradation");
+
+    println!(
+        "\nMQW system, uniform load {LOAD} pkt/cycle; fault durations 2000 cy;\n\
+         every run audited for flit/credit conservation afterwards."
+    );
+
+    let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
+    let workload = || Workload::Uniform { rate: LOAD, size };
+
+    // Two points per intensity — the fixed-rate baseline and the DVS
+    // power-aware system — sharing a comparison group so each pair sees
+    // one traffic realization *and* one fault realization.
+    let mut points = Vec::new();
+    for (k, intensity) in INTENSITIES.iter().enumerate() {
+        let faults = faults_for(intensity);
+        let mk = |config: SystemConfig| {
+            Experiment::new(config.with_faults(faults))
+                .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+                .measure_cycles(scale.cycles(defaults::MEASURE_CYCLES))
+                .audit_conservation()
+        };
+        points.push(
+            Point::new(
+                format!("{}/baseline", intensity.label),
+                mk(SystemConfig::paper_default().non_power_aware()),
+                workload(),
+            )
+            .in_group(k as u64),
+        );
+        points.push(
+            Point::new(
+                format!("{}/power-aware", intensity.label),
+                mk(SystemConfig::paper_default()),
+                workload(),
+            )
+            .in_group(k as u64),
+        );
+    }
+    println!("\n{} points on {} threads:", points.len(), args.jobs);
+    let results = run_points(&args.executor(), &points);
+
+    let mut csv = CsvBuilder::new(vec![
+        "intensity".into(),
+        "outage_mtbf_cycles".into(),
+        "power_aware".into(),
+        "latency_cycles".into(),
+        "norm_power".into(),
+        "link_faults".into(),
+        "flits_corrupted".into(),
+        "packets_dropped".into(),
+        "delivery_ratio".into(),
+    ]);
+    println!(
+        "\n  {:>9} {:>12} {:>9} {:>7} {:>7} {:>9} {:>8} {:>9}",
+        "intensity", "system", "latency", "power", "faults", "corrupted", "dropped", "delivery"
+    );
+    for (k, intensity) in INTENSITIES.iter().enumerate() {
+        for (pa, r) in [(0u8, &results[2 * k]), (1u8, &results[2 * k + 1])] {
+            let system = if pa == 1 { "PA" } else { "baseline" };
+            println!(
+                "  {:>9} {system:>12} {:>7.1} {:>7.3} {:>9} {:>8} {:>9} {:>9.4}",
+                intensity.label,
+                r.avg_latency_cycles,
+                r.normalized_power,
+                r.link_faults,
+                r.flits_corrupted,
+                r.packets_dropped,
+                r.delivery_ratio()
+            );
+            csv.row_f64(&[
+                k as f64,
+                intensity.outage_mtbf as f64,
+                f64::from(pa),
+                r.avg_latency_cycles,
+                r.normalized_power,
+                r.link_faults as f64,
+                r.flits_corrupted as f64,
+                r.packets_dropped as f64,
+                r.delivery_ratio(),
+            ]);
+        }
+    }
+
+    // The graceful-degradation headline: delivery at the heaviest
+    // intensity, baseline vs power-aware.
+    let heavy_base = &results[results.len() - 2];
+    let heavy_pa = &results[results.len() - 1];
+    println!(
+        "\nReading: at the heaviest fault rate the fixed-rate baseline\n\
+         delivers {:.2}% of resolved packets intact while the power-aware\n\
+         system, pinning faulted links to the safe 5 Gb/s rate (where the\n\
+         starved light still closes the receiver eye), delivers {:.2}% —\n\
+         degradation is graceful, and the conservation audit passed on\n\
+         every run: injected == delivered + dropped + in-flight.",
+        heavy_base.delivery_ratio() * 100.0,
+        heavy_pa.delivery_ratio() * 100.0,
+    );
+    println!("\nCSV:\n{}", csv.as_str());
+}

@@ -1,5 +1,6 @@
 //! Whole-system configuration.
 
+use crate::fault::FaultConfig;
 use lumen_noc::NocConfig;
 use lumen_opto::link::TransmitterKind;
 use lumen_opto::presets;
@@ -23,6 +24,10 @@ pub struct SystemConfig {
     /// Master random seed; every run with the same config and seed is
     /// bit-identical.
     pub seed: u64,
+    /// Link fault injection (outages, laser dropouts). Disabled by
+    /// default; a disabled configuration is guaranteed bit-identical to a
+    /// build without the fault machinery.
+    pub faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -35,6 +40,7 @@ impl SystemConfig {
             transmitter: TransmitterKind::MqwModulator,
             power_aware: true,
             seed: 1,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -57,6 +63,12 @@ impl SystemConfig {
         self
     }
 
+    /// Enables link fault injection with the given schedule parameters.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The calibrated link power model for the chosen technology.
     pub fn link_model(&self) -> LinkPowerModel {
         presets::paper_link(self.transmitter)
@@ -71,6 +83,7 @@ impl SystemConfig {
     pub fn validate(&self) {
         self.noc.validate();
         self.policy.validate();
+        self.faults.validate();
         let ladder_max = self.policy.ladder.max_rate().as_gbps();
         let noc_max = self.noc.max_rate.as_gbps();
         assert!(
@@ -105,6 +118,20 @@ mod tests {
         assert!(!c.power_aware);
         assert_eq!(c.transmitter, TransmitterKind::Vcsel);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn config_with_faults_round_trips() {
+        let c = SystemConfig::paper_default().with_faults(crate::fault::FaultConfig {
+            outage_mtbf_cycles: 50_000,
+            outage_mean_duration_cycles: 2_000,
+            ..crate::fault::FaultConfig::disabled()
+        });
+        c.validate();
+        assert!(c.faults.enabled());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod exec;
+pub mod fault;
 pub mod results;
 pub mod runner;
 pub mod sim;
@@ -52,6 +53,7 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::exec::{Executor, Point, PointResult, Workload};
+    pub use crate::fault::{FaultConfig, FaultKind};
     pub use crate::results::RunResult;
     pub use crate::runner::Experiment;
     pub use crate::sim::PowerAwareSim;
@@ -64,6 +66,7 @@ pub mod prelude {
 
 pub use config::SystemConfig;
 pub use exec::{Executor, Point, PointError, PointResult, Workload};
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FAULT_STREAM};
 pub use results::RunResult;
 pub use runner::Experiment;
 pub use sim::PowerAwareSim;

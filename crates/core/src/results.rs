@@ -27,6 +27,17 @@ pub struct RunResult {
     pub normalized_power: f64,
     /// Bit-rate level transitions issued during the whole run.
     pub transitions: u64,
+    /// Packets dropped at sinks by end-to-end corruption detection during
+    /// measurement (always 0 with fault injection disabled).
+    pub packets_dropped: u64,
+    /// Flits belonging to dropped packets during measurement.
+    pub flits_dropped: u64,
+    /// Flits that reached sinks with the corruption flag set during
+    /// measurement.
+    pub flits_corrupted: u64,
+    /// Link fault windows (outages + laser dropouts) opened during
+    /// measurement.
+    pub link_faults: u64,
     /// Full latency statistics.
     pub latency_summary: Summary,
     /// Mean latency per sampling bucket over time (empty unless sampled).
@@ -53,6 +64,19 @@ impl RunResult {
             0.0
         } else {
             self.packets_delivered as f64 / self.cycles as f64
+        }
+    }
+
+    /// The fraction of resolved packets that arrived intact:
+    /// `delivered / (delivered + dropped)`. Packets still in flight when
+    /// measurement ends are not counted against the ratio. 1.0 when
+    /// nothing resolved (or faults are off and nothing is ever dropped).
+    pub fn delivery_ratio(&self) -> f64 {
+        let resolved = self.packets_delivered + self.packets_dropped;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.packets_delivered as f64 / resolved as f64
         }
     }
 
@@ -95,7 +119,17 @@ impl fmt::Display for RunResult {
             self.avg_power_mw,
             self.normalized_power * 100.0,
             self.transitions
-        )
+        )?;
+        if self.packets_dropped > 0 || self.link_faults > 0 {
+            write!(
+                f,
+                ", {} dropped / {} faults (delivery {:.4})",
+                self.packets_dropped,
+                self.link_faults,
+                self.delivery_ratio()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -115,6 +149,10 @@ mod tests {
             baseline_power_mw: 1000.0,
             normalized_power: norm_power,
             transitions: 7,
+            packets_dropped: 0,
+            flits_dropped: 0,
+            flits_corrupted: 0,
+            link_faults: 0,
             latency_summary: Summary::new(),
             latency_series: TimeSeries::new("l"),
             power_series: TimeSeries::new("p"),
@@ -149,5 +187,20 @@ mod tests {
         let s = result(20.0, 0.25).to_string();
         assert!(s.contains("480 pkts"));
         assert!(s.contains("25.0% of baseline"));
+        // Fault-free runs keep the historical single-line format.
+        assert!(!s.contains("dropped"));
+    }
+
+    #[test]
+    fn delivery_ratio_counts_only_resolved_packets() {
+        let mut r = result(20.0, 0.25);
+        assert_eq!(r.delivery_ratio(), 1.0);
+        r.packets_dropped = 120;
+        assert!((r.delivery_ratio() - 480.0 / 600.0).abs() < 1e-12);
+        let s = r.to_string();
+        assert!(s.contains("120 dropped"), "{s}");
+        r.packets_delivered = 0;
+        r.packets_dropped = 0;
+        assert_eq!(r.delivery_ratio(), 1.0, "vacuous ratio is 1");
     }
 }

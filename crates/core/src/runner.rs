@@ -20,6 +20,7 @@ pub struct Experiment {
     warmup_cycles: u64,
     measure_cycles: u64,
     sample_every: Option<u64>,
+    audit: bool,
 }
 
 impl Experiment {
@@ -31,6 +32,7 @@ impl Experiment {
             warmup_cycles: 20_000,
             measure_cycles: 100_000,
             sample_every: None,
+            audit: false,
         }
     }
 
@@ -50,6 +52,15 @@ impl Experiment {
     /// over-time figures).
     pub fn sample_every(mut self, cycles: u64) -> Self {
         self.sample_every = Some(cycles);
+        self
+    }
+
+    /// Runs the flit/credit conservation auditor over the final network
+    /// state after every run, panicking on any violation. Debug builds
+    /// (all `cargo test` runs) audit unconditionally; this forces the
+    /// check in release harnesses too.
+    pub fn audit_conservation(mut self) -> Self {
+        self.audit = true;
         self
     }
 
@@ -78,6 +89,9 @@ impl Experiment {
         engine.run_until(end);
 
         let sim = engine.model();
+        if self.audit || cfg!(debug_assertions) {
+            lumen_noc::audit(sim.network()).assert_ok();
+        }
         let summary = sim.latency_summary().clone();
         let hist = sim.latency_histogram();
         let (lat_s, pow_s, inj_s) = sim.series();
@@ -96,6 +110,10 @@ impl Experiment {
             baseline_power_mw: sim.baseline_power().as_mw(),
             normalized_power: sim.normalized_power(end),
             transitions: sim.transitions(),
+            packets_dropped: sim.packets_dropped_measured(),
+            flits_dropped: sim.flits_dropped_measured(),
+            flits_corrupted: sim.flits_corrupted_measured(),
+            link_faults: sim.link_faults_measured(),
             latency_summary: summary,
             latency_series: lat_s.clone(),
             power_series: pow_s.clone(),

@@ -19,6 +19,7 @@
 //! the external laser's attenuator finishes moving.
 
 use crate::config::SystemConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use lumen_desim::{Engine, EventQueue, Picos, SimModel};
 use lumen_noc::flit::Flit;
 use lumen_noc::ids::{LinkId, VcId};
@@ -62,6 +63,9 @@ pub enum SimEvent {
         rate: Gbps,
         /// The CDR relock window.
         disable: Picos,
+        /// The link epoch the hop was planned under; stale hops (link
+        /// pinned by a fault since) are discarded.
+        epoch: u64,
     },
     /// A link's power-accounting operating point changes.
     PowerPoint {
@@ -69,11 +73,29 @@ pub enum SimEvent {
         link: LinkId,
         /// The new operating point.
         point: OperatingPoint,
+        /// The link epoch the change was planned under.
+        epoch: u64,
     },
     /// A link's policy controller finishes its transition.
     TransitionComplete {
         /// The link.
         link: LinkId,
+        /// The link epoch the transition was planned under.
+        epoch: u64,
+    },
+    /// A fault window opens on a link.
+    FaultBegin {
+        /// The link.
+        link: LinkId,
+        /// Outage or laser dropout.
+        kind: FaultKind,
+    },
+    /// A fault window closes on a link.
+    FaultEnd {
+        /// The link.
+        link: LinkId,
+        /// Outage or laser dropout.
+        kind: FaultKind,
     },
     /// The external-laser controllers evaluate their lazy `Pdec` rule
     /// (every 200 µs; self-perpetuating).
@@ -95,11 +117,20 @@ pub struct PowerAwareSim {
     cycle: Picos,
     cycle_index: u64,
     tw_cycles: u64,
+    // Fault injection (None when disabled: no events, no RNG draws).
+    faults: Option<FaultPlan>,
+    // Per-link transition epoch: bumped when a fault pins a link, so
+    // transition events planned before the pin are discarded on arrival.
+    link_epoch: Vec<u64>,
     // Measurement state.
     measure_from: Picos,
     latency: Summary,
     latency_hist: Histogram,
     packets_injected_measured: u64,
+    packets_dropped_at_measure: u64,
+    flits_dropped_at_measure: u64,
+    flits_corrupted_at_measure: u64,
+    faults_at_measure: u64,
     // Optional time-series sampling.
     sample_every: Option<u64>,
     bucket_latency: Summary,
@@ -166,6 +197,48 @@ impl PowerAwareSim {
             && config.policy.optical_mode == lumen_policy::OpticalMode::ThreeLevel;
         let laser_period = config.policy.timing.laser_decision_period;
 
+        // Fault schedules: draw each link's first onset up front so the
+        // plan can move into the sim before the queue is populated.
+        // Dropouts model the shared external laser sagging, so they only
+        // exist on MQW-modulator systems.
+        let mut fault_onsets: Vec<(Picos, SimEvent)> = Vec::new();
+        let faults = if config.faults.enabled() {
+            let mut plan = FaultPlan::new(
+                &config.faults,
+                config.seed,
+                link_count,
+                cycle,
+                config.noc.flit_bits,
+            );
+            let dropouts = config.faults.dropouts_enabled()
+                && config.transmitter == lumen_opto::link::TransmitterKind::MqwModulator;
+            for l in 0..link_count {
+                if config.faults.outages_enabled() {
+                    let at = plan.next_begin(Picos::ZERO, l, FaultKind::Outage);
+                    fault_onsets.push((
+                        at,
+                        SimEvent::FaultBegin {
+                            link: LinkId(l),
+                            kind: FaultKind::Outage,
+                        },
+                    ));
+                }
+                if dropouts {
+                    let at = plan.next_begin(Picos::ZERO, l, FaultKind::LaserDropout);
+                    fault_onsets.push((
+                        at,
+                        SimEvent::FaultBegin {
+                            link: LinkId(l),
+                            kind: FaultKind::LaserDropout,
+                        },
+                    ));
+                }
+            }
+            Some(plan)
+        } else {
+            None
+        };
+
         let sim = PowerAwareSim {
             net,
             model,
@@ -179,10 +252,16 @@ impl PowerAwareSim {
             cycle,
             cycle_index: 0,
             tw_cycles,
+            faults,
+            link_epoch: vec![0; link_count],
             measure_from: Picos::ZERO,
             latency: Summary::new(),
             latency_hist: Histogram::new(10.0, 2_000),
             packets_injected_measured: 0,
+            packets_dropped_at_measure: 0,
+            flits_dropped_at_measure: 0,
+            flits_corrupted_at_measure: 0,
+            faults_at_measure: 0,
             sample_every,
             bucket_latency: Summary::new(),
             bucket_injected: 0,
@@ -201,6 +280,9 @@ impl PowerAwareSim {
             engine
                 .queue_mut()
                 .schedule(laser_period, SimEvent::LaserDecision);
+        }
+        for (at, ev) in fault_onsets {
+            engine.queue_mut().schedule(at, ev);
         }
         engine
     }
@@ -237,6 +319,10 @@ impl PowerAwareSim {
         self.latency = Summary::new();
         self.latency_hist = Histogram::new(10.0, 2_000);
         self.packets_injected_measured = 0;
+        self.packets_dropped_at_measure = self.net.packets_dropped();
+        self.flits_dropped_at_measure = self.net.flits_dropped();
+        self.flits_corrupted_at_measure = self.net.flits_corrupted();
+        self.faults_at_measure = self.faults.as_ref().map_or(0, FaultPlan::faults_injected);
         for (l, acct) in self.accounts.iter_mut().enumerate() {
             *acct = EnergyAccount::new(now, self.model.power(self.current_point[l]));
         }
@@ -259,6 +345,33 @@ impl PowerAwareSim {
     /// Packets injected since measurement began.
     pub fn packets_injected_measured(&self) -> u64 {
         self.packets_injected_measured
+    }
+
+    /// Packets dropped at sinks (end-to-end corruption detection) since
+    /// measurement began.
+    pub fn packets_dropped_measured(&self) -> u64 {
+        self.net.packets_dropped() - self.packets_dropped_at_measure
+    }
+
+    /// Flits belonging to dropped packets since measurement began.
+    pub fn flits_dropped_measured(&self) -> u64 {
+        self.net.flits_dropped() - self.flits_dropped_at_measure
+    }
+
+    /// Flits that reached sinks with the corruption flag set since
+    /// measurement began.
+    pub fn flits_corrupted_measured(&self) -> u64 {
+        self.net.flits_corrupted() - self.flits_corrupted_at_measure
+    }
+
+    /// Fault windows (outages + dropouts) begun since measurement began.
+    pub fn link_faults_measured(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultPlan::faults_injected) - self.faults_at_measure
+    }
+
+    /// Fault windows begun over the whole run, all links.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultPlan::faults_injected)
     }
 
     /// Total network energy since measurement began, in nanojoules.
@@ -346,7 +459,22 @@ impl PowerAwareSim {
         self.net.tick(now, &mut self.effects);
         for eff in std::mem::take(&mut self.effects) {
             match eff {
-                Effect::Flit { link, vc, flit, at } => {
+                Effect::Flit {
+                    link,
+                    vc,
+                    mut flit,
+                    at,
+                } => {
+                    // Flits launched while a laser dropout starves the
+                    // link's light risk bit errors at the current rate.
+                    if let Some(plan) = self.faults.as_mut() {
+                        if plan.dropout_active(link.0, now) {
+                            let p = plan.corruption_probability(self.net.link(link).rate());
+                            if plan.draw_corruption(link.0, p) {
+                                flit.corrupted = true;
+                            }
+                        }
+                    }
                     queue.schedule(at, SimEvent::FlitArrive { link, vc, flit });
                 }
                 Effect::Credit { link, vc, at } => {
@@ -427,6 +555,7 @@ impl PowerAwareSim {
             }
             // Interim power point (voltage-first on the way up,
             // frequency-first on the way down).
+            let epoch = self.link_epoch[l];
             if tr.interim_at <= now {
                 self.apply_power_point(now, id, tr.interim_point);
             } else {
@@ -435,6 +564,7 @@ impl PowerAwareSim {
                     SimEvent::PowerPoint {
                         link: id,
                         point: tr.interim_point,
+                        epoch,
                     },
                 );
             }
@@ -450,6 +580,7 @@ impl PowerAwareSim {
                         link: id,
                         rate: tr.new_rate,
                         disable: tr.disable_for,
+                        epoch,
                     },
                 );
             }
@@ -458,9 +589,13 @@ impl PowerAwareSim {
                 SimEvent::PowerPoint {
                     link: id,
                     point: tr.final_point,
+                    epoch,
                 },
             );
-            queue.schedule(tr.complete_at, SimEvent::TransitionComplete { link: id });
+            queue.schedule(
+                tr.complete_at,
+                SimEvent::TransitionComplete { link: id, epoch },
+            );
         }
     }
 
@@ -493,6 +628,14 @@ impl PowerAwareSim {
             if self.net.link(id).window_demand() > 0 {
                 if let Some(GateAction::WakeAt(ready)) = self.onoff[id.0].on_demand(now) {
                     self.net.link_mut(id).power_gate_wake(ready);
+                    // A wake mid-outage must not re-enable the link
+                    // before the fault clears.
+                    if let Some(plan) = &self.faults {
+                        let until = plan.outage_until(id.0);
+                        if until > now {
+                            self.net.link_mut(id).disable_until(until);
+                        }
+                    }
                     self.accounts[id.0].set_power(now, self.model.max_power());
                 }
                 self.sleeping.swap_remove(i);
@@ -505,6 +648,60 @@ impl PowerAwareSim {
     fn apply_power_point(&mut self, now: Picos, link: LinkId, point: OperatingPoint) {
         self.current_point[link.0] = point;
         self.accounts[link.0].set_power(now, self.model.power(point));
+    }
+
+    /// A fault window opens: record it, disable the link for outages, and
+    /// — in DVS mode, on the first overlapping fault — pin the link's
+    /// controller to the safe bottom rate.
+    fn on_fault_begin(
+        &mut self,
+        now: Picos,
+        link: LinkId,
+        kind: FaultKind,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let plan = self.faults.as_mut().expect("fault event without a plan");
+        let (until, newly_faulted) = plan.begin(now, link.0, kind);
+        if kind == FaultKind::Outage {
+            self.net.link_mut(link).disable_until(until);
+        }
+        queue.schedule(until, SimEvent::FaultEnd { link, kind });
+        if newly_faulted && !self.controllers.is_empty() {
+            self.pin_link_safe(now, link);
+        }
+    }
+
+    /// A fault window closes: schedule the next onset of the same kind
+    /// and, once no fault of either kind remains, release the controller
+    /// to re-ramp through the ladder.
+    fn on_fault_end(
+        &mut self,
+        now: Picos,
+        link: LinkId,
+        kind: FaultKind,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let plan = self.faults.as_mut().expect("fault event without a plan");
+        let (next, now_clear) = plan.end(now, link.0, kind);
+        queue.schedule(next, SimEvent::FaultBegin { link, kind });
+        if now_clear && !self.controllers.is_empty() {
+            self.controllers[link.0].unpin();
+        }
+    }
+
+    /// Pins a link to the ladder's safe bottom level: orphans any
+    /// in-flight transition events via the epoch bump, freezes the
+    /// controller, hops the rate down immediately (no extra disable — the
+    /// outage window, if any, already covers relock), and charges the
+    /// bottom operating point.
+    fn pin_link_safe(&mut self, now: Picos, link: LinkId) {
+        self.link_epoch[link.0] += 1;
+        self.controllers[link.0].pin_to_level(0);
+        let point = self.config.policy.ladder.point_at(0);
+        self.net
+            .link_mut(link)
+            .begin_rate_change(now, point.bit_rate(), Picos::ZERO);
+        self.apply_power_point(now, link, point);
     }
 
     fn take_sample(&mut self, now: Picos, every: u64) {
@@ -556,14 +753,27 @@ impl SimModel for PowerAwareSim {
                 link,
                 rate,
                 disable,
+                epoch,
             } => {
-                self.net.link_mut(link).begin_rate_change(now, rate, disable);
+                if epoch == self.link_epoch[link.0] {
+                    self.net.link_mut(link).begin_rate_change(now, rate, disable);
+                }
             }
-            SimEvent::PowerPoint { link, point } => {
-                self.apply_power_point(now, link, point);
+            SimEvent::PowerPoint { link, point, epoch } => {
+                if epoch == self.link_epoch[link.0] {
+                    self.apply_power_point(now, link, point);
+                }
             }
-            SimEvent::TransitionComplete { link } => {
-                self.controllers[link.0].transition_complete();
+            SimEvent::TransitionComplete { link, epoch } => {
+                if epoch == self.link_epoch[link.0] {
+                    self.controllers[link.0].transition_complete();
+                }
+            }
+            SimEvent::FaultBegin { link, kind } => {
+                self.on_fault_begin(now, link, kind, queue);
+            }
+            SimEvent::FaultEnd { link, kind } => {
+                self.on_fault_end(now, link, kind, queue);
             }
             SimEvent::LaserDecision => {
                 for laser in &mut self.lasers {
@@ -773,6 +983,110 @@ mod tests {
         );
         // DVS is floored at the bottom of the ladder; gating goes lower.
         assert!(gated < 0.15, "gated {gated}");
+    }
+
+    #[test]
+    fn outage_faults_disable_links_then_traffic_recovers() {
+        use crate::fault::FaultConfig;
+        let mut config = small_config(true);
+        config.faults = FaultConfig {
+            outage_mtbf_cycles: 3_000,
+            outage_mean_duration_cycles: 400,
+            ..FaultConfig::disabled()
+        };
+        let source = uniform_source(&config, 0.1);
+        let mut engine = PowerAwareSim::build_engine(config, source, None);
+        run_cycles(&mut engine, 20_000);
+        let sim = engine.model();
+        assert!(sim.faults_injected() > 0, "outages must fire");
+        // Outages never corrupt; they only stall. Everything injected
+        // still flows once links re-enable, and conservation holds.
+        assert_eq!(sim.network().packets_dropped(), 0);
+        assert!(sim.network().packets_delivered() > 100);
+        assert!(sim.transitions() > 0, "pin/re-ramp must issue transitions");
+        lumen_noc::audit(sim.network()).assert_ok();
+    }
+
+    #[test]
+    fn dropout_pinning_rescues_delivery_ratio() {
+        use crate::fault::FaultConfig;
+        // Heavy laser dropouts on an MQW system: at the full 10 Gb/s the
+        // starved light corrupts most flits; a link pinned to the 5 Gb/s
+        // safe rate keeps its eye open. The power-aware system should
+        // therefore drop far fewer packets than the non-power-aware one.
+        let run = |power_aware: bool| {
+            let mut config = small_config(power_aware);
+            config.faults = FaultConfig {
+                dropout_mtbf_cycles: 2_000,
+                dropout_mean_duration_cycles: 1_000,
+                ..FaultConfig::disabled()
+            };
+            let source = uniform_source(&config, 0.1);
+            let mut engine = PowerAwareSim::build_engine(config, source, None);
+            run_cycles(&mut engine, 20_000);
+            let sim = engine.model();
+            lumen_noc::audit(sim.network()).assert_ok();
+            assert!(sim.faults_injected() > 0, "dropouts must fire");
+            let delivered = sim.network().packets_delivered();
+            let dropped = sim.network().packets_dropped();
+            (delivered, dropped)
+        };
+        let (base_del, base_drop) = run(false);
+        let (pa_del, pa_drop) = run(true);
+        assert!(base_drop > 0, "full-rate dropouts must corrupt packets");
+        let base_ratio = base_del as f64 / (base_del + base_drop) as f64;
+        let pa_ratio = pa_del as f64 / (pa_del + pa_drop) as f64;
+        assert!(
+            pa_ratio > base_ratio,
+            "pinned safe rate must improve delivery: PA {pa_ratio:.4} vs base {base_ratio:.4}"
+        );
+        assert!(pa_ratio > 0.98, "PA delivery ratio {pa_ratio:.4}");
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic() {
+        use crate::fault::FaultConfig;
+        let run = || {
+            let mut config = small_config(true);
+            config.faults = FaultConfig {
+                outage_mtbf_cycles: 4_000,
+                outage_mean_duration_cycles: 300,
+                dropout_mtbf_cycles: 5_000,
+                dropout_mean_duration_cycles: 500,
+                ..FaultConfig::disabled()
+            };
+            let source = uniform_source(&config, 0.1);
+            let mut engine = PowerAwareSim::build_engine(config, source, None);
+            let end = run_cycles(&mut engine, 10_000);
+            let sim = engine.model();
+            (
+                sim.faults_injected(),
+                sim.network().flits_corrupted(),
+                sim.network().packets_dropped(),
+                sim.latency_summary().count(),
+                sim.energy_nj(end),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn vcsel_links_have_no_laser_dropouts() {
+        use crate::fault::FaultConfig;
+        let mut config =
+            small_config(true).with_transmitter(lumen_opto::link::TransmitterKind::Vcsel);
+        config.faults = FaultConfig {
+            dropout_mtbf_cycles: 1_000,
+            dropout_mean_duration_cycles: 500,
+            ..FaultConfig::disabled()
+        };
+        let source = uniform_source(&config, 0.1);
+        let mut engine = PowerAwareSim::build_engine(config, source, None);
+        run_cycles(&mut engine, 8_000);
+        let sim = engine.model();
+        // No shared external laser, so the dropout class never fires.
+        assert_eq!(sim.faults_injected(), 0);
+        assert_eq!(sim.network().flits_corrupted(), 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl Packet {
                 dst: self.dst,
                 size_flits: size,
                 created_at: self.created_at,
+                corrupted: false,
             }
         })
     }
@@ -118,6 +119,10 @@ pub struct Flit {
     pub size_flits: u32,
     /// Packet creation time (carried for latency measurement).
     pub created_at: Picos,
+    /// Whether a link fault flipped bits in this flit. Corrupted flits
+    /// travel the network normally (flow control cannot tell) and are
+    /// detected end-to-end at the sink, which drops the whole packet.
+    pub corrupted: bool,
 }
 
 impl fmt::Display for Flit {

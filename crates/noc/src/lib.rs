@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod audit;
 pub mod buffer;
 pub mod config;
 pub mod flit;
@@ -54,6 +55,7 @@ pub mod router;
 pub mod routing;
 pub mod stats;
 
+pub use audit::{audit, audit_quiescent, AuditReport};
 pub use config::NocConfig;
 pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{Direction, LinkId, NodeId, PacketId, PortId, RackCoord, RouterId, VcId};

@@ -78,6 +78,7 @@ pub struct Link {
     window_busy: Picos,
     window_demand_ticks: u64,
     flits_sent: u64,
+    flits_arrived: u64,
     rate_changes: u64,
 }
 
@@ -111,6 +112,7 @@ impl Link {
             window_busy: Picos::ZERO,
             window_demand_ticks: 0,
             flits_sent: 0,
+            flits_arrived: 0,
             rate_changes: 0,
         }
     }
@@ -249,6 +251,24 @@ impl Link {
     /// Lifetime count of flits transmitted.
     pub fn flits_sent(&self) -> u64 {
         self.flits_sent
+    }
+
+    /// Records that a transmitted flit reached the downstream endpoint
+    /// (called by the network when the arrival event is delivered).
+    pub(crate) fn note_arrival(&mut self) {
+        self.flits_arrived += 1;
+        debug_assert!(
+            self.flits_arrived <= self.flits_sent,
+            "{}: more arrivals than sends",
+            self.id
+        );
+    }
+
+    /// Lifetime count of flits delivered downstream. The difference
+    /// `flits_sent() - flits_arrived()` is the number of flits currently
+    /// in flight on the wire (used by the conservation auditor).
+    pub fn flits_arrived(&self) -> u64 {
+        self.flits_arrived
     }
 
     /// Lifetime count of bit-rate changes.

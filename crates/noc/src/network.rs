@@ -227,6 +227,21 @@ impl Network {
         &self.routers[id.0]
     }
 
+    /// Iterates over all routers (conservation auditor).
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter()
+    }
+
+    /// Iterates over all source nodes (conservation auditor).
+    pub fn sources(&self) -> impl Iterator<Item = &SourceNode> {
+        self.sources.iter()
+    }
+
+    /// Iterates over all sink nodes (conservation auditor).
+    pub fn sinks(&self) -> impl Iterator<Item = &SinkNode> {
+        self.sinks.iter()
+    }
+
     /// Queues a packet at its source node.
     pub fn inject(&mut self, packet: Packet) {
         self.sources[packet.src.0].enqueue(packet);
@@ -254,6 +269,7 @@ impl Network {
         flit: Flit,
         effects: &mut Vec<Effect>,
     ) {
+        self.links[link.0].note_arrival();
         match self.links[link.0].to() {
             Endpoint::RouterPort { router, port } => {
                 self.routers[router.0].accept_flit(port, vc, flit);
@@ -304,6 +320,21 @@ impl Network {
     /// Flits injected so far across all sources.
     pub fn flits_injected(&self) -> u64 {
         self.sources.iter().map(|s| s.flits_injected).sum()
+    }
+
+    /// Packets dropped at sinks because a flit arrived corrupted.
+    pub fn packets_dropped(&self) -> u64 {
+        self.sinks.iter().map(|s| s.packets_dropped).sum()
+    }
+
+    /// Flits belonging to dropped packets.
+    pub fn flits_dropped(&self) -> u64 {
+        self.sinks.iter().map(|s| s.flits_dropped).sum()
+    }
+
+    /// Flits that reached a sink with the corruption flag set.
+    pub fn flits_corrupted(&self) -> u64 {
+        self.sinks.iter().map(|s| s.flits_corrupted).sum()
     }
 
     /// Whether the network holds no traffic anywhere (sources drained,

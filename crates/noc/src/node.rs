@@ -73,6 +73,11 @@ impl SourceNode {
         self.queue.len()
     }
 
+    /// Current credit balance per VC (for the conservation auditor).
+    pub fn credits(&self) -> &[u16] {
+        &self.credits
+    }
+
     /// Returns one credit for the downstream VC.
     pub fn return_credit(&mut self, vc: VcId, depth_per_vc: u16) {
         let c = &mut self.credits[vc.0 as usize];
@@ -122,16 +127,34 @@ impl SourceNode {
     }
 }
 
+/// Reassembly state for one packet mid-flight at a sink.
+#[derive(Debug, Clone, Copy)]
+struct PartialPacket {
+    /// Flits of the packet seen so far.
+    seen: u32,
+    /// Whether any flit of the packet arrived corrupted. Detection is
+    /// end-to-end: the whole packet is dropped at the tail.
+    poisoned: bool,
+}
+
 /// The traffic-sink half of a processing node.
 #[derive(Debug, Clone)]
 pub struct SinkNode {
     id: NodeId,
     ej_link: LinkId,
-    in_flight: HashMap<PacketId, u32>,
+    in_flight: HashMap<PacketId, PartialPacket>,
     /// Packets fully received.
     pub packets_received: u64,
     /// Flits received.
     pub flits_received: u64,
+    /// Flits of fully delivered (uncorrupted) packets.
+    pub flits_delivered: u64,
+    /// Packets discarded because a flit arrived corrupted.
+    pub packets_dropped: u64,
+    /// Flits belonging to discarded packets.
+    pub flits_dropped: u64,
+    /// Flits that arrived with the corruption flag set.
+    pub flits_corrupted: u64,
 }
 
 impl SinkNode {
@@ -143,6 +166,10 @@ impl SinkNode {
             in_flight: HashMap::new(),
             packets_received: 0,
             flits_received: 0,
+            flits_delivered: 0,
+            packets_dropped: 0,
+            flits_dropped: 0,
+            flits_corrupted: 0,
         }
     }
 
@@ -157,8 +184,13 @@ impl SinkNode {
     }
 
     /// Accepts a flit off the ejection link: returns the credit upstream
-    /// and, on the tail flit, emits the packet-ejected effect carrying the
-    /// end-to-end latency.
+    /// and, on the tail flit, either emits the packet-ejected effect
+    /// carrying the end-to-end latency or — if any flit of the packet
+    /// arrived corrupted — drops the packet with accounting (no effect).
+    ///
+    /// Corrupted flits still consume buffer slots and return credits:
+    /// flow control cannot distinguish them, only the end-to-end check
+    /// at reassembly can.
     ///
     /// # Panics
     ///
@@ -174,40 +206,59 @@ impl SinkNode {
     ) {
         assert_eq!(flit.dst, self.id, "misrouted flit {flit} at {}", self.id);
         self.flits_received += 1;
+        if flit.corrupted {
+            self.flits_corrupted += 1;
+        }
         effects.push(Effect::Credit {
             link: self.ej_link,
             vc,
             at: now + credit_delay,
         });
-        let seen = self.in_flight.entry(flit.packet).or_insert(0);
-        *seen += 1;
+        let partial = self.in_flight.entry(flit.packet).or_insert(PartialPacket {
+            seen: 0,
+            poisoned: false,
+        });
+        partial.seen += 1;
+        partial.poisoned |= flit.corrupted;
         assert_eq!(
-            *seen - 1,
+            partial.seen - 1,
             flit.seq,
             "out-of-order flit {flit} at {}",
             self.id
         );
         if flit.kind.is_tail() {
-            let count = self
+            let partial = self
                 .in_flight
                 .remove(&flit.packet)
                 .expect("tail implies entry");
-            assert_eq!(count, flit.size_flits, "short packet {flit}");
-            self.packets_received += 1;
-            effects.push(Effect::Ejected {
-                packet: flit.packet,
-                src: flit.src,
-                dst: flit.dst,
-                size_flits: flit.size_flits,
-                created_at: flit.created_at,
-                at: now,
-            });
+            assert_eq!(partial.seen, flit.size_flits, "short packet {flit}");
+            if partial.poisoned {
+                self.packets_dropped += 1;
+                self.flits_dropped += u64::from(flit.size_flits);
+            } else {
+                self.packets_received += 1;
+                self.flits_delivered += u64::from(flit.size_flits);
+                effects.push(Effect::Ejected {
+                    packet: flit.packet,
+                    src: flit.src,
+                    dst: flit.dst,
+                    size_flits: flit.size_flits,
+                    created_at: flit.created_at,
+                    at: now,
+                });
+            }
         }
     }
 
     /// Packets currently mid-reassembly.
     pub fn partial_packets(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Flits currently held in partially reassembled packets (for the
+    /// conservation auditor).
+    pub fn partial_flits(&self) -> u64 {
+        self.in_flight.values().map(|p| u64::from(p.seen)).sum()
     }
 }
 
@@ -324,6 +375,40 @@ mod tests {
             .filter(|e| matches!(e, Effect::Credit { .. }))
             .count();
         assert_eq!(credits, 3);
+    }
+
+    #[test]
+    fn sink_drops_poisoned_packet_with_accounting() {
+        let mut sink = SinkNode::new(NodeId(1), LinkId(3));
+        let mut effects = Vec::new();
+        let p = Packet::new(PacketId(9), NodeId(0), NodeId(1), 3, Picos::ZERO);
+        for (i, mut f) in p.into_flits().enumerate() {
+            if i == 1 {
+                f.corrupted = true;
+            }
+            sink.receive(
+                Picos::from_ns(i as u64),
+                VcId(0),
+                f,
+                Picos::from_ps(1600),
+                &mut effects,
+            );
+        }
+        assert_eq!(sink.packets_received, 0);
+        assert_eq!(sink.packets_dropped, 1);
+        assert_eq!(sink.flits_dropped, 3);
+        assert_eq!(sink.flits_corrupted, 1);
+        assert_eq!(sink.flits_received, 3);
+        assert_eq!(sink.flits_delivered, 0);
+        assert_eq!(sink.partial_packets(), 0);
+        assert_eq!(sink.partial_flits(), 0);
+        // Credits still flow for every flit, but no packet is ejected.
+        let credits = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Credit { .. }))
+            .count();
+        assert_eq!(credits, 3);
+        assert!(!effects.iter().any(|e| matches!(e, Effect::Ejected { .. })));
     }
 
     #[test]

@@ -118,6 +118,10 @@ pub struct Router {
     scratch_routes: Vec<PortId>,
     /// Flits this router has switched over its lifetime.
     pub flits_switched: u64,
+    /// Flits accepted into input buffers over its lifetime. The invariant
+    /// `flits_accepted == flits_switched + buffered` holds at every event
+    /// boundary (checked by the conservation auditor).
+    pub flits_accepted: u64,
     // Fast-path counters: flits buffered and VCs not in Idle. When both
     // are zero the router has nothing to do this cycle.
     buffered_flits: u32,
@@ -140,6 +144,7 @@ impl Router {
             scratch_requests: (0..p).map(|_| Vec::with_capacity(4)).collect(),
             scratch_routes: Vec::with_capacity(3),
             flits_switched: 0,
+            flits_accepted: 0,
             buffered_flits: 0,
             active_vcs: 0,
         }
@@ -369,6 +374,7 @@ impl Router {
     pub fn accept_flit(&mut self, port: PortId, vc: VcId, flit: crate::flit::Flit) {
         self.inputs[port.0 as usize].buffer.push(vc, flit);
         self.buffered_flits += 1;
+        self.flits_accepted += 1;
     }
 
     /// Returns a credit to an output port's VC.

@@ -58,6 +58,12 @@ pub struct NetworkSnapshot {
     pub source_backlog: usize,
     /// Packets fully delivered.
     pub packets_delivered: u64,
+    /// Packets dropped at sinks after end-to-end corruption detection.
+    pub packets_dropped: u64,
+    /// Flits belonging to dropped packets.
+    pub flits_dropped: u64,
+    /// Flits that arrived at sinks with the corruption flag set.
+    pub flits_corrupted: u64,
 }
 
 impl NetworkSnapshot {
@@ -98,6 +104,9 @@ impl NetworkSnapshot {
             flits_switched,
             source_backlog: net.source_backlog(),
             packets_delivered: net.packets_delivered(),
+            packets_dropped: net.packets_dropped(),
+            flits_dropped: net.flits_dropped(),
+            flits_corrupted: net.flits_corrupted(),
         }
     }
 }
@@ -109,8 +118,13 @@ impl fmt::Display for NetworkSnapshot {
         writeln!(f, "ejection:  {}", self.ejection)?;
         write!(
             f,
-            "{} flits switched, {} backlogged, {} packets delivered",
-            self.flits_switched, self.source_backlog, self.packets_delivered
+            "{} flits switched, {} backlogged, {} packets delivered, \
+             {} dropped ({} corrupted flits)",
+            self.flits_switched,
+            self.source_backlog,
+            self.packets_delivered,
+            self.packets_dropped,
+            self.flits_corrupted
         )
     }
 }

@@ -100,6 +100,25 @@ impl SensitivityModel {
     pub fn link_closes(&self, received: MicroWatts, br: Gbps) -> bool {
         self.margin(received, br) >= 1.0
     }
+
+    /// Probability that a `bits`-wide flit crossing the link suffers at
+    /// least one bit error at the given received power and bit rate:
+    /// `1 − (1 − BER)^bits`, computed with `ln_1p`/`exp_m1` so tiny BERs
+    /// don't vanish in floating-point cancellation. This is the corruption
+    /// probability fault injection applies to flits launched while a laser
+    /// is delivering degraded light.
+    pub fn flit_corruption_probability(
+        &self,
+        received: MicroWatts,
+        br: Gbps,
+        bits: u32,
+    ) -> f64 {
+        let ber = self.ber(received, br).clamp(0.0, 1.0);
+        if ber >= 1.0 {
+            return 1.0;
+        }
+        -(f64::from(bits) * (-ber).ln_1p()).exp_m1()
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +176,40 @@ mod tests {
         let at = s.ber(MicroWatts::from_uw(25.0), Gbps::from_gbps(10.0));
         let above = s.ber(MicroWatts::from_uw(50.0), Gbps::from_gbps(10.0));
         assert!(above < at);
+    }
+
+    #[test]
+    fn flit_corruption_probability_behaves() {
+        let s = SensitivityModel::paper_default();
+        // Full margin: essentially zero corruption.
+        let clean = s.flit_corruption_probability(
+            MicroWatts::from_uw(80.0),
+            Gbps::from_gbps(10.0),
+            16,
+        );
+        assert!(clean < 1e-12, "clean {clean}");
+        // Starved light: high corruption, bounded by 1.
+        let starved = s.flit_corruption_probability(
+            MicroWatts::from_uw(2.0),
+            Gbps::from_gbps(10.0),
+            16,
+        );
+        assert!(starved > 0.5 && starved <= 1.0, "starved {starved}");
+        // Slowing the link at the same light level reduces corruption.
+        let slowed = s.flit_corruption_probability(
+            MicroWatts::from_uw(8.0),
+            Gbps::from_gbps(5.0),
+            16,
+        );
+        let fast = s.flit_corruption_probability(
+            MicroWatts::from_uw(8.0),
+            Gbps::from_gbps(10.0),
+            16,
+        );
+        assert!(slowed < fast, "slowed {slowed} vs fast {fast}");
+        // Small-BER regime agrees with bits · BER to first order.
+        let ber = s.ber(MicroWatts::from_uw(8.0), Gbps::from_gbps(5.0));
+        assert!((slowed - 16.0 * ber).abs() / slowed < 1e-3);
     }
 
     #[test]

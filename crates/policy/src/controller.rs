@@ -88,6 +88,7 @@ pub struct LinkPolicyController {
     predictor: Predictor,
     ewma: Option<f64>,
     in_transition: bool,
+    pinned: bool,
     /// Window decisions taken (including holds).
     pub decisions: u64,
     /// Up transitions issued.
@@ -122,6 +123,7 @@ impl LinkPolicyController {
             predictor: config.predictor,
             ewma: None,
             in_transition: false,
+            pinned: false,
             decisions: 0,
             ups: 0,
             downs: 0,
@@ -182,7 +184,10 @@ impl LinkPolicyController {
                 next
             }
         };
-        if self.in_transition {
+        if self.in_transition || self.pinned {
+            // Pinned (fault response) windows still feed the predictor so
+            // demand history is warm when the link is released, but the
+            // controller takes no decisions.
             return None;
         }
         self.decisions += 1;
@@ -249,6 +254,38 @@ impl LinkPolicyController {
     pub fn transition_complete(&mut self) {
         debug_assert!(self.in_transition, "no transition in flight");
         self.in_transition = false;
+    }
+
+    /// Fault response: jump the controller to `level` immediately and
+    /// freeze decision-making until [`LinkPolicyController::unpin`].
+    /// Any in-flight transition plan is abandoned (the driver must also
+    /// discard its scheduled events — see the epoch guard in
+    /// `lumen-core`). The caller applies the rate/power change itself;
+    /// this only realigns the controller's state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of ladder range.
+    pub fn pin_to_level(&mut self, level: usize) {
+        assert!(
+            level < self.ladder.level_count(),
+            "pin level {level} out of range"
+        );
+        self.level = level;
+        self.in_transition = false;
+        self.pinned = true;
+    }
+
+    /// Releases a fault pin: the controller resumes normal window
+    /// decisions from the pinned level and re-ramps through the ladder
+    /// one coarse step per window as demand warrants.
+    pub fn unpin(&mut self) {
+        self.pinned = false;
+    }
+
+    /// Whether the controller is currently pinned by a fault.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
     }
 
     /// Total level transitions issued.
@@ -404,6 +441,35 @@ mod tests {
         let mut config = PolicyConfig::paper_default();
         config.predictor = Predictor::Ewma(1.5);
         let _ = LinkPolicyController::new(&config, ClockDomain::router_core().period(), 0);
+    }
+
+    #[test]
+    fn pin_freezes_decisions_and_unpin_re_ramps() {
+        let mut c = controller_n1(4);
+        // Mid-transition pin: the in-flight plan is abandoned.
+        let _ = c.on_window(Picos::ZERO, 0.0, 0.0).expect("step down");
+        assert!(c.in_transition());
+        c.pin_to_level(0);
+        assert!(c.is_pinned());
+        assert!(!c.in_transition());
+        assert_eq!(c.level(), 0);
+        // Pinned: demand is observed but no decision is taken.
+        for _ in 0..5 {
+            assert!(c.on_window(Picos::ZERO, 1.0, 0.0).is_none());
+        }
+        let decisions_pinned = c.decisions;
+        // Released: the hot link re-ramps one coarse step per window.
+        c.unpin();
+        let t = c.on_window(Picos::ZERO, 1.0, 0.0).expect("re-ramp");
+        assert_eq!(t.to_level, 1);
+        assert!(c.decisions > decisions_pinned);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pin_out_of_range_rejected() {
+        let mut c = controller_n1(0);
+        c.pin_to_level(17);
     }
 
     #[test]

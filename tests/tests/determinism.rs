@@ -163,6 +163,80 @@ fn grouped_pairs_share_traffic_at_any_thread_count() {
 }
 
 #[test]
+fn fault_schedules_deterministic_across_jobs_and_order() {
+    // The ext_faults harness shape: paired baseline/power-aware points
+    // with fault injection on, sharing a comparison group. The fault
+    // realization (outage onsets, dropout onsets, corruption draws) must
+    // be bit-identical across thread counts AND across submission order —
+    // it is derived from the group seed, never from scheduling.
+    let faults = FaultConfig {
+        outage_mtbf_cycles: 20_000,
+        outage_mean_duration_cycles: 1_000,
+        dropout_mtbf_cycles: 20_000,
+        dropout_mean_duration_cycles: 1_000,
+        ..FaultConfig::disabled()
+    };
+    let mk = |power_aware: bool| {
+        let c = if power_aware {
+            config(13)
+        } else {
+            config(13).non_power_aware()
+        };
+        Experiment::new(c.with_faults(faults))
+            .warmup_cycles(500)
+            .measure_cycles(6_000)
+            .audit_conservation()
+    };
+    let workload = Workload::Uniform {
+        rate: 0.15,
+        size: PacketSize::Fixed(4),
+    };
+    let pa = Point::new("PA", mk(true), workload.clone()).in_group(0);
+    let base = Point::new("base", mk(false), workload).in_group(0);
+
+    let fault_print = |r: &RunResult| {
+        (
+            r.link_faults,
+            r.flits_corrupted,
+            r.packets_dropped,
+            r.flits_dropped,
+            r.packets_injected,
+        )
+    };
+    let forward = [base.clone(), pa.clone()];
+    let reversed = [pa, base];
+    let serial = Executor::new(1).run(&forward);
+    let parallel = Executor::new(4).run(&forward);
+    let swapped = Executor::new(4).run(&reversed);
+
+    // jobs=1 vs jobs=4: every fault-path counter identical per point.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(fault_print(s.expect_ok()), fault_print(p.expect_ok()));
+        assert_eq!(
+            s.expect_ok().avg_latency_cycles,
+            p.expect_ok().avg_latency_cycles
+        );
+    }
+    // Submission order: the same point gets the same realization wherever
+    // it sits in the batch (group seed, not batch index).
+    assert_eq!(
+        fault_print(serial[0].expect_ok()),
+        fault_print(swapped[1].expect_ok())
+    );
+    assert_eq!(
+        fault_print(serial[1].expect_ok()),
+        fault_print(swapped[0].expect_ok())
+    );
+    // Common random numbers: the paired points share one fault plan, so
+    // the injected-fault count matches across baseline and power-aware.
+    assert_eq!(
+        serial[0].expect_ok().link_faults,
+        serial[1].expect_ok().link_faults
+    );
+    assert!(serial[0].expect_ok().link_faults > 0, "no faults injected");
+}
+
+#[test]
 fn system_config_serde_round_trip() {
     let c = config(9);
     let json = serde_json::to_string(&c).expect("serialize");
