@@ -1,0 +1,250 @@
+//! Perf-trajectory harness: measures event-core throughput (events/sec)
+//! on the full-scale `fig5_load` uniform-random points for both calendar
+//! backends — the bucketed cycle wheel and the pre-wheel reference binary
+//! heap — plus the `fig5_load --quick` sweep wall-clock at `--jobs 1` and
+//! `--jobs N`, and writes the numbers to `BENCH_events.json` so later PRs
+//! have a recorded baseline to compare against.
+//!
+//! The two backends are also cross-checked here: every measured point
+//! must deliver identical packet counts and energy on both calendars, so
+//! a perf run doubles as a bit-identity smoke test.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin perf_events -- \
+//!       [--quick] [--jobs N] [--out PATH]` (default out: BENCH_events.json)
+
+use lumen_bench::{banner, defaults, run_points, BenchArgs, RunScale};
+use lumen_core::prelude::*;
+use lumen_desim::{Engine, Rng};
+use std::time::Instant;
+
+/// Pre-change throughput of the seed commit (`07c112b`, the BinaryHeap
+/// calendar with the unoptimized router pipeline), measured once from a
+/// worktree build on the same host and session that measured the wheel
+/// numbers first recorded in `BENCH_events.json`. This is a historical
+/// anchor for the perf trajectory — later runs re-measure the live
+/// backends but carry this record forward unchanged.
+const SEED_BASELINE: &[(&str, u64, f64)] = &[
+    // (point name, events, wall seconds) at full scale
+    ("fig5_load non-PA-10G rate 4.0", 20_447_644, 5.148),
+    ("fig5_load MQW-5-10 rate 4.0", 20_443_493, 5.594),
+];
+
+/// One backend's measurement of one simulation point.
+struct BackendPerf {
+    events: u64,
+    scheduled: u64,
+    wall_s: f64,
+    /// Cross-check values: must match across backends bit-for-bit.
+    delivered: u64,
+    energy_nj: f64,
+}
+
+impl BackendPerf {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+}
+
+fn run_point(config: SystemConfig, rate: f64, scale: RunScale, reference: bool) -> BackendPerf {
+    let warmup = scale.cycles(defaults::WARMUP_CYCLES);
+    let measure = scale.cycles(60_000); // fig5_load's per-point horizon
+    let source = Box::new(SyntheticSource::new(
+        &config.noc,
+        Pattern::Uniform,
+        RateProfile::Constant(rate),
+        PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS),
+        Rng::seed_from(config.seed),
+    ));
+    let cycle = config.noc.cycle();
+    let start = Instant::now();
+    let mut engine: Engine<PowerAwareSim> = if reference {
+        PowerAwareSim::build_engine_reference_queue(config, source, None)
+    } else {
+        PowerAwareSim::build_engine(config, source, None)
+    };
+    engine.run_until(cycle * warmup);
+    let now = engine.now();
+    engine.model_mut().begin_measurement(now);
+    let end = cycle * (warmup + measure);
+    engine.run_until(end);
+    let wall_s = start.elapsed().as_secs_f64();
+    let sim = engine.model();
+    BackendPerf {
+        events: engine.processed(),
+        scheduled: engine.queue().scheduled_total(),
+        wall_s,
+        delivered: sim.network().packets_delivered(),
+        energy_nj: sim.energy_nj(end),
+    }
+}
+
+/// The `fig5_load --quick`-shaped sweep (6 configs × zero-load + 8 rates),
+/// used to time the whole-harness wall-clock at a given thread count.
+fn sweep_points(scale: RunScale) -> Vec<Point> {
+    let rates: &[f64] = &[0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+    let size = PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS);
+    let mut points = Vec::new();
+    for pa in [false, true] {
+        let mut config = SystemConfig::paper_default();
+        config.power_aware = pa;
+        let name = if pa { "MQW-5-10" } else { "non-PA-10G" };
+        let exp = Experiment::new(config)
+            .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
+            .measure_cycles(scale.cycles(60_000));
+        points.push(
+            Point::new(format!("{name} zero-load"), exp.clone(), Workload::ZeroLoad { size })
+                .in_group(0),
+        );
+        points.extend(rates.iter().enumerate().map(|(i, &rate)| {
+            Point::new(
+                format!("{name} rate {rate}"),
+                exp.clone(),
+                Workload::Uniform { rate, size },
+            )
+            .in_group(1 + i as u64)
+        }));
+    }
+    points
+}
+
+fn json_point(name: &str, cycles: u64, wheel: &BackendPerf, heap: &BackendPerf) -> String {
+    let backend = |p: &BackendPerf| {
+        format!(
+            "{{\"events\": {}, \"scheduled\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}}}",
+            p.events,
+            p.scheduled,
+            p.wall_s,
+            p.events_per_sec()
+        )
+    };
+    format!(
+        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2}\n    }}",
+        backend(wheel),
+        backend(heap),
+        wheel.events_per_sec() / heap.events_per_sec()
+    )
+}
+
+fn main() {
+    // `--out PATH` is specific to this harness; strip it before handing
+    // the rest to the shared parser so typos are still rejected.
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_events.json");
+    if let Some(i) = argv.iter().position(|a| a == "--out") {
+        if i + 1 >= argv.len() {
+            eprintln!("error: `--out` needs a path");
+            std::process::exit(2);
+        }
+        out_path = argv.remove(i + 1);
+        argv.remove(i);
+    }
+    let args = match BenchArgs::try_parse(&argv) {
+        Ok(a) => a,
+        Err(lumen_bench::ParseOutcome::Help) => {
+            println!(
+                "usage: perf_events [--quick] [--jobs N] [--out PATH]\n\
+                 measures event-core throughput on both calendar backends and\n\
+                 writes BENCH_events.json (the perf trajectory record)"
+            );
+            return;
+        }
+        Err(lumen_bench::ParseOutcome::Error(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let scale = args.scale;
+    let scale_name = match scale {
+        RunScale::Full => "full",
+        RunScale::Quick => "quick",
+    };
+    banner("perf_events", "event-core throughput trajectory");
+
+    // --- Single-point events/sec: wheel vs reference heap. -------------
+    let point_cycles = scale.cycles(defaults::WARMUP_CYCLES) + scale.cycles(60_000);
+    let mut point_json = Vec::new();
+    for (name, pa, rate) in [
+        ("fig5_load non-PA-10G rate 4.0", false, 4.0),
+        ("fig5_load MQW-5-10 rate 4.0", true, 4.0),
+    ] {
+        let config = {
+            let mut c = SystemConfig::paper_default();
+            c.power_aware = pa;
+            c
+        };
+        println!("\n{name} ({scale_name} scale, {point_cycles} cycles):");
+        let wheel = run_point(config.clone(), rate, scale, false);
+        println!(
+            "  wheel          {:>12.0} events/s  ({} events, {:.2}s)",
+            wheel.events_per_sec(),
+            wheel.events,
+            wheel.wall_s
+        );
+        let heap = run_point(config, rate, scale, true);
+        println!(
+            "  reference heap {:>12.0} events/s  ({} events, {:.2}s)",
+            heap.events_per_sec(),
+            heap.events,
+            heap.wall_s
+        );
+        // Same events, same physics: the backends must agree exactly.
+        assert_eq!(
+            (wheel.events, wheel.scheduled, wheel.delivered),
+            (heap.events, heap.scheduled, heap.delivered),
+            "calendar backends diverged on {name}"
+        );
+        assert!(
+            wheel.energy_nj == heap.energy_nj,
+            "energy diverged on {name}: {} vs {}",
+            wheel.energy_nj,
+            heap.energy_nj
+        );
+        println!(
+            "  speedup {:.2}x (cross-check ok: {} packets, {:.1} nJ on both)",
+            wheel.events_per_sec() / heap.events_per_sec(),
+            wheel.delivered,
+            wheel.energy_nj
+        );
+        point_json.push(json_point(name, point_cycles, &wheel, &heap));
+    }
+
+    // --- Whole-sweep wall-clock at jobs=1 and jobs=N (quick scale). -----
+    // Always quick: this entry tracks harness latency, not throughput,
+    // and must stay cheap enough for the CI perf-smoke job.
+    let sweep = sweep_points(RunScale::Quick);
+    let n_points = sweep.len();
+    let mut sweep_json = Vec::new();
+    let mut jobs_list = vec![1usize];
+    if args.jobs > 1 {
+        jobs_list.push(args.jobs);
+    }
+    for &jobs in &jobs_list {
+        println!("\nfig5_load-shaped quick sweep ({n_points} points) at --jobs {jobs}:");
+        let start = Instant::now();
+        let results = run_points(&Executor::new(jobs), &sweep);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(results.len(), n_points);
+        println!("  {wall:.1}s wall-clock");
+        sweep_json.push(format!("      {{\"jobs\": {jobs}, \"wall_s\": {wall:.2}}}"));
+    }
+
+    // --- Emit the trajectory record. ------------------------------------
+    let seed_json: Vec<String> = SEED_BASELINE
+        .iter()
+        .map(|(name, events, wall_s)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"events\": {events}, \"wall_s\": {wall_s:.3}, \"events_per_sec\": {:.0}}}",
+                *events as f64 / wall_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"lumen-bench-events/1\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+        Executor::available().jobs(),
+        seed_json.join(",\n"),
+        point_json.join(",\n"),
+        sweep_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_events.json");
+    println!("\nwrote {out_path}");
+}

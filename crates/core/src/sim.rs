@@ -154,6 +154,28 @@ impl PowerAwareSim {
         source: Box<dyn TrafficSource>,
         sample_every: Option<u64>,
     ) -> Engine<PowerAwareSim> {
+        Self::build_engine_inner(config, source, sample_every, false)
+    }
+
+    /// [`PowerAwareSim::build_engine`], but on the reference binary-heap
+    /// calendar instead of the bucketed cycle wheel. Outputs are
+    /// bit-identical (both calendars deliver the same `(time, seq)`
+    /// sequence); this exists so perf harnesses can measure the pre-wheel
+    /// baseline and differential tests can pin the equivalence.
+    pub fn build_engine_reference_queue(
+        config: SystemConfig,
+        source: Box<dyn TrafficSource>,
+        sample_every: Option<u64>,
+    ) -> Engine<PowerAwareSim> {
+        Self::build_engine_inner(config, source, sample_every, true)
+    }
+
+    fn build_engine_inner(
+        config: SystemConfig,
+        source: Box<dyn TrafficSource>,
+        sample_every: Option<u64>,
+        reference_queue: bool,
+    ) -> Engine<PowerAwareSim> {
         config.validate();
         let net = Network::new(&config.noc);
         let model = config.link_model();
@@ -218,7 +240,7 @@ impl PowerAwareSim {
                     fault_onsets.push((
                         at,
                         SimEvent::FaultBegin {
-                            link: LinkId(l),
+                            link: LinkId(l as u32),
                             kind: FaultKind::Outage,
                         },
                     ));
@@ -228,7 +250,7 @@ impl PowerAwareSim {
                     fault_onsets.push((
                         at,
                         SimEvent::FaultBegin {
-                            link: LinkId(l),
+                            link: LinkId(l as u32),
                             kind: FaultKind::LaserDropout,
                         },
                     ));
@@ -274,7 +296,17 @@ impl PowerAwareSim {
             packets: Vec::new(),
             config,
         };
-        let mut engine = Engine::new(sim);
+        // Calendar sizing: each link can have a flit and a credit in
+        // flight per cycle, spread over a few cycles of serialization
+        // fan-out, plus the tick/policy/laser/fault tail. Buckets are one
+        // router cycle wide so same-cycle arrivals drain as one batch.
+        let capacity = link_count * 8 + 64;
+        let queue = if reference_queue {
+            EventQueue::reference_heap_with_capacity(capacity)
+        } else {
+            EventQueue::with_capacity_and_width(capacity, cycle)
+        };
+        let mut engine = Engine::with_queue(sim, queue);
         engine.queue_mut().schedule(Picos::ZERO, SimEvent::CoreTick);
         if three_level {
             engine
@@ -391,7 +423,7 @@ impl PowerAwareSim {
         }
         let mut sums = [0.0f64; 3];
         for (l, acct) in self.accounts.iter().enumerate() {
-            let idx = match self.net.link(LinkId(l)).kind() {
+            let idx = match self.net.link(LinkId(l as u32)).kind() {
                 LinkKind::InterRouter => 0,
                 LinkKind::Injection => 1,
                 LinkKind::Ejection => 2,
@@ -455,9 +487,12 @@ impl PowerAwareSim {
             self.net.inject(pkt);
         }
 
-        // 2. One cycle of every source node and router.
+        // 2. One cycle of every source node and router. Drain effects by
+        // index (Effect is Copy) to keep the buffer's capacity across
+        // cycles rather than reallocating it every tick.
         self.net.tick(now, &mut self.effects);
-        for eff in std::mem::take(&mut self.effects) {
+        for i in 0..self.effects.len() {
+            let eff = self.effects[i];
             match eff {
                 Effect::Flit {
                     link,
@@ -468,9 +503,9 @@ impl PowerAwareSim {
                     // Flits launched while a laser dropout starves the
                     // link's light risk bit errors at the current rate.
                     if let Some(plan) = self.faults.as_mut() {
-                        if plan.dropout_active(link.0, now) {
+                        if plan.dropout_active(link.index(), now) {
                             let p = plan.corruption_probability(self.net.link(link).rate());
-                            if plan.draw_corruption(link.0, p) {
+                            if plan.draw_corruption(link.index(), p) {
                                 flit.corrupted = true;
                             }
                         }
@@ -485,6 +520,7 @@ impl PowerAwareSim {
                 }
             }
         }
+        self.effects.clear();
 
         // 3. Power management: wake sleeping links the moment demand
         // appears (on/off mode), then run the window policies.
@@ -525,7 +561,7 @@ impl PowerAwareSim {
         let buffer_cap =
             (self.config.noc.depth_per_vc() as u64 * self.config.noc.vcs as u64) as f64;
         for l in 0..self.net.link_count() {
-            let id = LinkId(l);
+            let id = LinkId(l as u32);
             let busy = self.net.link_mut(id).take_window_busy();
             let demand = self.net.link_mut(id).take_window_demand();
             // Lu is the fraction of the window the link was serving or
@@ -603,7 +639,7 @@ impl PowerAwareSim {
     fn run_onoff_windows(&mut self, now: Picos) {
         let tw_duration = self.cycle * self.tw_cycles;
         for l in 0..self.net.link_count() {
-            let id = LinkId(l);
+            let id = LinkId(l as u32);
             let busy = self.net.link_mut(id).take_window_busy();
             let demand = self.net.link_mut(id).take_window_demand();
             let lu = (busy.as_ps() as f64 / tw_duration.as_ps() as f64)
@@ -626,17 +662,17 @@ impl PowerAwareSim {
         while i < self.sleeping.len() {
             let id = self.sleeping[i];
             if self.net.link(id).window_demand() > 0 {
-                if let Some(GateAction::WakeAt(ready)) = self.onoff[id.0].on_demand(now) {
+                if let Some(GateAction::WakeAt(ready)) = self.onoff[id.index()].on_demand(now) {
                     self.net.link_mut(id).power_gate_wake(ready);
                     // A wake mid-outage must not re-enable the link
                     // before the fault clears.
                     if let Some(plan) = &self.faults {
-                        let until = plan.outage_until(id.0);
+                        let until = plan.outage_until(id.index());
                         if until > now {
                             self.net.link_mut(id).disable_until(until);
                         }
                     }
-                    self.accounts[id.0].set_power(now, self.model.max_power());
+                    self.accounts[id.index()].set_power(now, self.model.max_power());
                 }
                 self.sleeping.swap_remove(i);
             } else {
@@ -646,8 +682,8 @@ impl PowerAwareSim {
     }
 
     fn apply_power_point(&mut self, now: Picos, link: LinkId, point: OperatingPoint) {
-        self.current_point[link.0] = point;
-        self.accounts[link.0].set_power(now, self.model.power(point));
+        self.current_point[link.index()] = point;
+        self.accounts[link.index()].set_power(now, self.model.power(point));
     }
 
     /// A fault window opens: record it, disable the link for outages, and
@@ -661,7 +697,7 @@ impl PowerAwareSim {
         queue: &mut EventQueue<SimEvent>,
     ) {
         let plan = self.faults.as_mut().expect("fault event without a plan");
-        let (until, newly_faulted) = plan.begin(now, link.0, kind);
+        let (until, newly_faulted) = plan.begin(now, link.index(), kind);
         if kind == FaultKind::Outage {
             self.net.link_mut(link).disable_until(until);
         }
@@ -682,10 +718,10 @@ impl PowerAwareSim {
         queue: &mut EventQueue<SimEvent>,
     ) {
         let plan = self.faults.as_mut().expect("fault event without a plan");
-        let (next, now_clear) = plan.end(now, link.0, kind);
+        let (next, now_clear) = plan.end(now, link.index(), kind);
         queue.schedule(next, SimEvent::FaultBegin { link, kind });
         if now_clear && !self.controllers.is_empty() {
-            self.controllers[link.0].unpin();
+            self.controllers[link.index()].unpin();
         }
     }
 
@@ -695,8 +731,8 @@ impl PowerAwareSim {
     /// outage window, if any, already covers relock), and charges the
     /// bottom operating point.
     fn pin_link_safe(&mut self, now: Picos, link: LinkId) {
-        self.link_epoch[link.0] += 1;
-        self.controllers[link.0].pin_to_level(0);
+        self.link_epoch[link.index()] += 1;
+        self.controllers[link.index()].pin_to_level(0);
         let point = self.config.policy.ladder.point_at(0);
         self.net
             .link_mut(link)
@@ -732,7 +768,11 @@ impl SimModel for PowerAwareSim {
             SimEvent::CoreTick => self.on_core_tick(now, queue),
             SimEvent::FlitArrive { link, vc, flit } => {
                 self.net.flit_arrived(now, link, vc, flit, &mut self.effects);
-                for eff in std::mem::take(&mut self.effects) {
+                // Drain by index (Effect is Copy) so the buffer keeps its
+                // capacity — this path runs once per flit hop, and a
+                // `mem::take` here would reallocate the Vec every arrival.
+                for i in 0..self.effects.len() {
+                    let eff = self.effects[i];
                     match eff {
                         Effect::Credit { link, vc, at } => {
                             queue.schedule(at, SimEvent::CreditArrive { link, vc });
@@ -745,6 +785,7 @@ impl SimModel for PowerAwareSim {
                         }
                     }
                 }
+                self.effects.clear();
             }
             SimEvent::CreditArrive { link, vc } => {
                 self.net.credit_arrived(link, vc);
@@ -755,18 +796,18 @@ impl SimModel for PowerAwareSim {
                 disable,
                 epoch,
             } => {
-                if epoch == self.link_epoch[link.0] {
+                if epoch == self.link_epoch[link.index()] {
                     self.net.link_mut(link).begin_rate_change(now, rate, disable);
                 }
             }
             SimEvent::PowerPoint { link, point, epoch } => {
-                if epoch == self.link_epoch[link.0] {
+                if epoch == self.link_epoch[link.index()] {
                     self.apply_power_point(now, link, point);
                 }
             }
             SimEvent::TransitionComplete { link, epoch } => {
-                if epoch == self.link_epoch[link.0] {
-                    self.controllers[link.0].transition_complete();
+                if epoch == self.link_epoch[link.index()] {
+                    self.controllers[link.index()].transition_complete();
                 }
             }
             SimEvent::FaultBegin { link, kind } => {
@@ -849,6 +890,43 @@ mod tests {
         assert!(norm < 0.6, "normalized power {norm}");
         assert!(norm > 0.15, "normalized power {norm} below physical floor");
         assert!(sim.transitions() > 0);
+    }
+
+    #[test]
+    fn wheel_and_reference_calendars_agree_bit_for_bit() {
+        // The full system, faults and all, must produce identical output
+        // on both calendar backends — the tentpole's correctness contract.
+        let run = |reference: bool| {
+            use crate::fault::FaultConfig;
+            let mut config = small_config(true);
+            config.faults = FaultConfig {
+                outage_mtbf_cycles: 4_000,
+                outage_mean_duration_cycles: 300,
+                dropout_mtbf_cycles: 5_000,
+                dropout_mean_duration_cycles: 500,
+                ..FaultConfig::disabled()
+            };
+            let source = uniform_source(&config, 0.15);
+            let mut engine = if reference {
+                PowerAwareSim::build_engine_reference_queue(config, source, Some(500))
+            } else {
+                PowerAwareSim::build_engine(config, source, Some(500))
+            };
+            let end = run_cycles(&mut engine, 12_000);
+            let sim = engine.model();
+            (
+                sim.latency_summary().count(),
+                sim.latency_summary().mean(),
+                sim.latency_summary().max(),
+                sim.energy_nj(end),
+                sim.transitions(),
+                sim.faults_injected(),
+                sim.network().flits_corrupted(),
+                sim.network().packets_delivered(),
+                sim.series().1.clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -43,9 +43,24 @@ pub struct Engine<M: SimModel> {
 impl<M: SimModel> Engine<M> {
     /// Creates an engine at time zero with an empty calendar.
     pub fn new(model: M) -> Self {
+        Self::with_queue(model, EventQueue::new())
+    }
+
+    /// Creates an engine whose calendar pre-allocates room for `capacity`
+    /// pending events. Simulations that schedule tens of millions of
+    /// events (two per flit hop) should size this from their fan-out —
+    /// e.g. links × events-per-link-per-cycle × in-flight cycles — to
+    /// avoid reallocation churn in the hot path.
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        Self::with_queue(model, EventQueue::with_capacity(capacity))
+    }
+
+    /// Creates an engine over a caller-built calendar (custom bucket
+    /// width, capacity, or the reference heap backend).
+    pub fn with_queue(model: M, queue: EventQueue<M::Event>) -> Self {
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue,
             now: Picos::ZERO,
             processed: 0,
             event_budget: None,
@@ -98,20 +113,24 @@ impl<M: SimModel> Engine<M> {
     /// are processed).
     pub fn run_until(&mut self, horizon: Picos) -> RunOutcome {
         loop {
-            if let Some(budget) = self.event_budget {
-                if self.processed >= budget {
-                    return RunOutcome::BudgetExhausted;
-                }
+            if self.budget_spent() {
+                return RunOutcome::BudgetExhausted;
             }
-            match self.queue.peek_time() {
-                None => return RunOutcome::QueueDrained,
-                Some(t) if t > horizon => return RunOutcome::HorizonReached,
-                Some(t) => {
-                    debug_assert!(t >= self.now, "event calendar went backwards");
-                    let (time, event) = self.queue.pop().expect("peeked entry must pop");
+            // One call decides "in range?" and pops — no separate peek
+            // pass over the calendar on the per-event hot path.
+            match self.queue.pop_if_at_or_before(horizon) {
+                Some((time, event)) => {
+                    debug_assert!(time >= self.now, "event calendar went backwards");
                     self.now = time;
                     self.processed += 1;
                     self.model.handle(time, event, &mut self.queue);
+                }
+                None => {
+                    return if self.queue.is_empty() {
+                        RunOutcome::QueueDrained
+                    } else {
+                        RunOutcome::HorizonReached
+                    };
                 }
             }
         }
@@ -123,13 +142,26 @@ impl<M: SimModel> Engine<M> {
     }
 
     /// Processes exactly one event, if any is pending. Returns its time.
+    ///
+    /// Returns `None` once the event budget is spent (the same cap
+    /// [`Engine::run_until`] enforces): a budget-exhausted engine cannot
+    /// be stepped past its cap. Use [`Engine::processed`] against the
+    /// budget to distinguish exhaustion from an empty calendar.
     pub fn step(&mut self) -> Option<Picos> {
+        if self.budget_spent() {
+            return None;
+        }
         let (time, event) = self.queue.pop()?;
         debug_assert!(time >= self.now);
         self.now = time;
         self.processed += 1;
         self.model.handle(time, event, &mut self.queue);
         Some(time)
+    }
+
+    fn budget_spent(&self) -> bool {
+        self.event_budget
+            .is_some_and(|budget| self.processed >= budget)
     }
 }
 
@@ -229,5 +261,97 @@ mod tests {
         eng.queue_mut().schedule(Picos::from_ns(4), 7);
         assert_eq!(eng.step(), Some(Picos::from_ns(4)));
         assert_eq!(eng.step(), None);
+    }
+
+    #[test]
+    fn step_respects_event_budget() {
+        // A budget-exhausted engine must not be steppable past its cap,
+        // whether the budget was spent by run_until or by step itself.
+        let mut eng = Engine::new(Echo {
+            seen: vec![],
+            respawn: true,
+        });
+        eng.set_event_budget(3);
+        eng.queue_mut().schedule(Picos::ZERO, 0);
+        assert_eq!(eng.run_to_completion(), RunOutcome::BudgetExhausted);
+        assert_eq!(eng.processed(), 3);
+        assert!(!eng.queue().is_empty(), "respawned event still pending");
+        assert_eq!(eng.step(), None, "step must honor the spent budget");
+        assert_eq!(eng.processed(), 3);
+
+        // Spending the budget via step alone hits the same wall.
+        let mut eng = Engine::new(Echo {
+            seen: vec![],
+            respawn: true,
+        });
+        eng.set_event_budget(2);
+        eng.queue_mut().schedule(Picos::ZERO, 0);
+        assert!(eng.step().is_some());
+        assert!(eng.step().is_some());
+        assert_eq!(eng.step(), None);
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn with_capacity_runs_identically() {
+        let run = |mut eng: Engine<Echo>| {
+            eng.queue_mut().schedule(Picos::ZERO, 0);
+            eng.run_to_completion();
+            eng.into_model().seen
+        };
+        let plain = run(Engine::new(Echo {
+            seen: vec![],
+            respawn: true,
+        }));
+        let sized = run(Engine::with_capacity(
+            Echo {
+                seen: vec![],
+                respawn: true,
+            },
+            1 << 12,
+        ));
+        assert_eq!(plain, sized);
+    }
+
+    /// A model that, on its first event at time t, schedules another event
+    /// at exactly t — the seam the wheel's drain path must keep intact.
+    #[derive(Debug)]
+    struct SameInstant {
+        seen: Vec<(Picos, u32)>,
+    }
+
+    impl SimModel for SameInstant {
+        type Event = u32;
+        fn handle(&mut self, now: Picos, ev: u32, queue: &mut EventQueue<u32>) {
+            self.seen.push((now, ev));
+            if ev == 1 {
+                queue.schedule(now, 99); // zero-delay follow-up at `now`
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delay_event_delivered_within_horizon_after_queued_peers() {
+        // Two events are queued at t; handling the first schedules a third
+        // at t. run_until(t) must deliver all three this cycle — the
+        // zero-delay event after the already-queued peers (FIFO), never
+        // left pending past the horizon.
+        let t = Picos::from_ns(3);
+        for reference in [false, true] {
+            let queue = if reference {
+                EventQueue::reference_heap()
+            } else {
+                EventQueue::new()
+            };
+            let mut eng = Engine::with_queue(SameInstant { seen: vec![] }, queue);
+            eng.queue_mut().schedule(t, 1);
+            eng.queue_mut().schedule(t, 2);
+            assert_eq!(eng.run_until(t), RunOutcome::QueueDrained);
+            assert_eq!(
+                eng.model().seen,
+                vec![(t, 1), (t, 2), (t, 99)],
+                "reference={reference}"
+            );
+        }
     }
 }

@@ -186,7 +186,7 @@ fn check_credits(net: &Network, quiescent: bool, violations: &mut Vec<String>) {
         for vc in 0..vcs {
             let held = match link.from() {
                 Endpoint::Node(n) => {
-                    let src = net.sources().nth(n.0).expect("source exists");
+                    let src = net.sources().nth(n.index()).expect("source exists");
                     u64::from(src.credits()[vc])
                 }
                 Endpoint::RouterPort { router, port } => {
@@ -276,8 +276,8 @@ mod tests {
                     id += 1;
                     net.inject(Packet::new(
                         PacketId(id),
-                        NodeId(s),
-                        NodeId(t),
+                        NodeId(s as u32),
+                        NodeId(t as u32),
                         3,
                         Picos::ZERO,
                     ));
@@ -305,8 +305,8 @@ mod tests {
                     id += 1;
                     net.inject(Packet::new(
                         PacketId(id),
-                        NodeId(s),
-                        NodeId(t),
+                        NodeId(s as u32),
+                        NodeId(t as u32),
                         6,
                         Picos::ZERO,
                     ));
@@ -330,8 +330,8 @@ mod tests {
                 id += 1;
                 net.inject(Packet::new(
                     PacketId(id),
-                    NodeId(s),
-                    NodeId(t),
+                    NodeId(s as u32),
+                    NodeId(t as u32),
                     4,
                     Picos::ZERO,
                 ));

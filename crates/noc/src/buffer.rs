@@ -11,6 +11,9 @@ use std::collections::VecDeque;
 pub struct InputBuffer {
     queues: Vec<VecDeque<Flit>>,
     depth_per_vc: usize,
+    // Flits across all VCs, kept in sync by push/pop so the per-cycle
+    // occupancy statistic is O(1) instead of a walk over every VC.
+    occupancy: usize,
 }
 
 impl InputBuffer {
@@ -28,6 +31,7 @@ impl InputBuffer {
                 .map(|_| VecDeque::with_capacity(depth_per_vc as usize))
                 .collect(),
             depth_per_vc: depth_per_vc as usize,
+            occupancy: 0,
         }
     }
 
@@ -54,6 +58,7 @@ impl InputBuffer {
             "buffer overflow on {vc}: credit protocol violated"
         );
         q.push_back(flit);
+        self.occupancy += 1;
     }
 
     /// The head-of-line flit of a VC, if any.
@@ -63,7 +68,9 @@ impl InputBuffer {
 
     /// Pops the head-of-line flit of a VC.
     pub fn pop(&mut self, vc: VcId) -> Option<Flit> {
-        self.queues[vc.0 as usize].pop_front()
+        let f = self.queues[vc.0 as usize].pop_front();
+        self.occupancy -= f.is_some() as usize;
+        f
     }
 
     /// Occupancy of one VC, in flits.
@@ -79,7 +86,11 @@ impl InputBuffer {
     /// Total occupancy across all VCs, in flits (the `F(t)` of the paper's
     /// buffer-utilization statistic, Eq. 10).
     pub fn total_occupancy(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.occupancy,
+            self.queues.iter().map(VecDeque::len).sum::<usize>()
+        );
+        self.occupancy
     }
 
     /// Total capacity across all VCs, in flits (the `B` of Eq. 10).

@@ -120,31 +120,31 @@ impl NocConfig {
     /// Maps a rack coordinate to its router id (row-major).
     pub fn router_at(&self, c: RackCoord) -> RouterId {
         debug_assert!(c.x < self.width && c.y < self.height);
-        RouterId(c.y as usize * self.width as usize + c.x as usize)
+        RouterId(c.y as u32 * self.width as u32 + c.x as u32)
     }
 
     /// Maps a router id back to its rack coordinate.
     pub fn coord_of(&self, r: RouterId) -> RackCoord {
         RackCoord::new(
-            (r.0 % self.width as usize) as u8,
-            (r.0 / self.width as usize) as u8,
+            (r.0 % self.width as u32) as u8,
+            (r.0 / self.width as u32) as u8,
         )
     }
 
     /// The router serving a node.
     pub fn router_of_node(&self, n: NodeId) -> RouterId {
-        RouterId(n.0 / self.nodes_per_rack as usize)
+        RouterId(n.0 / self.nodes_per_rack as u32)
     }
 
     /// A node's local index within its rack (= its local port index).
     pub fn local_index(&self, n: NodeId) -> u8 {
-        (n.0 % self.nodes_per_rack as usize) as u8
+        (n.0 % self.nodes_per_rack as u32) as u8
     }
 
     /// The node at a given rack-local position.
     pub fn node_at(&self, r: RouterId, local: u8) -> NodeId {
         debug_assert!(local < self.nodes_per_rack);
-        NodeId(r.0 * self.nodes_per_rack as usize + local as usize)
+        NodeId(r.0 * self.nodes_per_rack as u32 + local as u32)
     }
 
     /// Time to serialize one flit at `rate`.

@@ -73,6 +73,9 @@ pub struct Link {
     flit_bits: u32,
     propagation: Picos,
     rate: Gbps,
+    // Serialization time of one flit at `rate`, recomputed on rate
+    // changes so the per-flit hot path avoids a float division.
+    flit_ps: u64,
     busy_until: Picos,
     disabled_until: Picos,
     window_busy: Picos,
@@ -107,6 +110,7 @@ impl Link {
             flit_bits,
             propagation,
             rate,
+            flit_ps: rate.serialization_ps(flit_bits),
             busy_until: Picos::ZERO,
             disabled_until: Picos::ZERO,
             window_busy: Picos::ZERO,
@@ -144,7 +148,8 @@ impl Link {
 
     /// Time to serialize one flit at the current rate.
     pub fn flit_time(&self) -> Picos {
-        Picos::from_ps(self.rate.serialization_ps(self.flit_bits))
+        debug_assert_eq!(self.flit_ps, self.rate.serialization_ps(self.flit_bits));
+        Picos::from_ps(self.flit_ps)
     }
 
     /// Whether a new flit can start at time `t` (idle and enabled).
@@ -189,6 +194,7 @@ impl Link {
             self.rate_changes += 1;
         }
         self.rate = new_rate;
+        self.flit_ps = new_rate.serialization_ps(self.flit_bits);
     }
 
     /// Disables the link until `until` without changing the rate (used for

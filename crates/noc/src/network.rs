@@ -69,6 +69,13 @@ pub struct Network {
     sources: Vec<SourceNode>,
     sinks: Vec<SinkNode>,
     links: Vec<Link>,
+    // Dense copies of each link's endpoints (fixed at construction).
+    // `Link` is a large struct (rate ladder state, window statistics), so
+    // the per-event delivery paths — ~2 lookups per flit hop, tens of
+    // millions per run — read these 8-byte entries instead of pulling a
+    // whole `Link` through the cache for the destination alone.
+    to_ep: Vec<Endpoint>,
+    from_ep: Vec<Endpoint>,
     inter_router_links: usize,
     ticks: u64,
 }
@@ -88,13 +95,13 @@ impl Network {
     pub fn with_routing(config: &NocConfig, routing: RoutingAlgorithm) -> Self {
         config.validate();
         let mut routers: Vec<Router> = (0..config.rack_count())
-            .map(|r| Router::new(RouterId(r), routing, config))
+            .map(|r| Router::new(RouterId(r as u32), routing, config))
             .collect();
         let mut links = Vec::new();
 
         // Inter-router mesh channels.
         for r in 0..config.rack_count() {
-            let here = RouterId(r);
+            let here = RouterId(r as u32);
             let coord = config.coord_of(here);
             for dir in Direction::ALL {
                 let Some(nbr_coord) = coord.neighbor(dir, config.width, config.height) else {
@@ -103,7 +110,7 @@ impl Network {
                 let nbr = config.router_at(nbr_coord);
                 let out_port = direction_port(config, dir);
                 let in_port = direction_port(config, dir.opposite());
-                let id = LinkId(links.len());
+                let id = LinkId(links.len() as u32);
                 links.push(Link::new(
                     id,
                     LinkKind::InterRouter,
@@ -120,7 +127,7 @@ impl Network {
                     config.max_rate,
                 ));
                 routers[r].outputs[out_port.0 as usize].link = Some(id);
-                routers[nbr.0].inputs[in_port.0 as usize].feeder = Some(id);
+                routers[nbr.index()].inputs[in_port.0 as usize].feeder = Some(id);
             }
         }
         let inter_router_links = links.len();
@@ -129,11 +136,11 @@ impl Network {
         let mut sources = Vec::with_capacity(config.node_count());
         let mut sinks = Vec::with_capacity(config.node_count());
         for n in 0..config.node_count() {
-            let node = NodeId(n);
+            let node = NodeId(n as u32);
             let router = config.router_of_node(node);
             let local = PortId(config.local_index(node));
 
-            let inj = LinkId(links.len());
+            let inj = LinkId(links.len() as u32);
             links.push(Link::new(
                 inj,
                 LinkKind::Injection,
@@ -146,10 +153,10 @@ impl Network {
                 config.propagation,
                 config.max_rate,
             ));
-            routers[router.0].inputs[local.0 as usize].feeder = Some(inj);
+            routers[router.index()].inputs[local.0 as usize].feeder = Some(inj);
             sources.push(SourceNode::new(node, inj, config.vcs, config.depth_per_vc()));
 
-            let ej = LinkId(links.len());
+            let ej = LinkId(links.len() as u32);
             links.push(Link::new(
                 ej,
                 LinkKind::Ejection,
@@ -162,16 +169,20 @@ impl Network {
                 config.propagation,
                 config.max_rate,
             ));
-            routers[router.0].outputs[local.0 as usize].link = Some(ej);
+            routers[router.index()].outputs[local.0 as usize].link = Some(ej);
             sinks.push(SinkNode::new(node, ej));
         }
 
+        let to_ep = links.iter().map(Link::to).collect();
+        let from_ep = links.iter().map(Link::from).collect();
         Network {
             config: config.clone(),
             routers,
             sources,
             sinks,
             links,
+            to_ep,
+            from_ep,
             inter_router_links,
             ticks: 0,
         }
@@ -209,12 +220,12 @@ impl Network {
 
     /// Immutable access to a link.
     pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.0]
+        &self.links[id.index()]
     }
 
     /// Mutable access to a link (the power-aware layer's rate-change hook).
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
-        &mut self.links[id.0]
+        &mut self.links[id.index()]
     }
 
     /// Iterates over all links.
@@ -224,7 +235,7 @@ impl Network {
 
     /// Immutable access to a router.
     pub fn router(&self, id: RouterId) -> &Router {
-        &self.routers[id.0]
+        &self.routers[id.index()]
     }
 
     /// Iterates over all routers (conservation auditor).
@@ -244,7 +255,7 @@ impl Network {
 
     /// Queues a packet at its source node.
     pub fn inject(&mut self, packet: Packet) {
-        self.sources[packet.src.0].enqueue(packet);
+        self.sources[packet.src.index()].enqueue(packet);
     }
 
     /// One router-core cycle: all sources try to inject, all routers step
@@ -269,13 +280,13 @@ impl Network {
         flit: Flit,
         effects: &mut Vec<Effect>,
     ) {
-        self.links[link.0].note_arrival();
-        match self.links[link.0].to() {
+        self.links[link.index()].note_arrival();
+        match self.to_ep[link.index()] {
             Endpoint::RouterPort { router, port } => {
-                self.routers[router.0].accept_flit(port, vc, flit);
+                self.routers[router.index()].accept_flit(port, vc, flit);
             }
             Endpoint::Node(n) => {
-                self.sinks[n.0].receive(now, vc, flit, self.config.credit_delay, effects);
+                self.sinks[n.index()].receive(now, vc, flit, self.config.credit_delay, effects);
             }
         }
     }
@@ -284,12 +295,12 @@ impl Network {
     /// [`Effect::Credit`] whose time has come).
     pub fn credit_arrived(&mut self, link: LinkId, vc: VcId) {
         let depth = self.config.depth_per_vc();
-        match self.links[link.0].from() {
+        match self.from_ep[link.index()] {
             Endpoint::RouterPort { router, port } => {
-                self.routers[router.0].return_credit(port, vc, depth);
+                self.routers[router.index()].return_credit(port, vc, depth);
             }
             Endpoint::Node(n) => {
-                self.sources[n.0].return_credit(vc, depth);
+                self.sources[n.index()].return_credit(vc, depth);
             }
         }
     }
@@ -298,9 +309,9 @@ impl Network {
     /// since last sampled, over `cycles` observation cycles. `None` for
     /// ejection links (the sink drains instantly, so `Bu` is zero there).
     pub fn take_downstream_occupancy(&mut self, link: LinkId, cycles: u64) -> Option<f64> {
-        match self.links[link.0].to() {
+        match self.links[link.index()].to() {
             Endpoint::RouterPort { router, port } => {
-                let accum = self.routers[router.0].inputs[port.0 as usize].take_occupancy_accum();
+                let accum = self.routers[router.index()].inputs[port.0 as usize].take_occupancy_accum();
                 (cycles > 0).then(|| accum as f64 / cycles as f64)
             }
             Endpoint::Node(_) => None,
@@ -408,7 +419,7 @@ mod tests {
     }
 
     fn packet(id: u64, src: usize, dst: usize, size: u32, at: Picos) -> Packet {
-        Packet::new(PacketId(id), NodeId(src), NodeId(dst), size, at)
+        Packet::new(PacketId(id), NodeId(src as u32), NodeId(dst as u32), size, at)
     }
 
     #[test]
@@ -426,8 +437,8 @@ mod tests {
         let config = NocConfig::paper_default();
         let net = Network::new(&config);
         for r in 0..net.router_count() {
-            let router = net.router(RouterId(r));
-            let coord = config.coord_of(RouterId(r));
+            let router = net.router(RouterId(r as u32));
+            let coord = config.coord_of(RouterId(r as u32));
             // Local ports always wired both ways.
             for p in 0..config.nodes_per_rack {
                 assert!(router.outputs[p as usize].link.is_some());
@@ -559,7 +570,7 @@ mod tests {
         // Slow every link to 5 Gb/s with a transition penalty.
         for l in 0..d.net.link_count() {
             d.net
-                .link_mut(LinkId(l))
+                .link_mut(LinkId(l as u32))
                 .begin_rate_change(Picos::ZERO, Gbps::from_gbps(5.0), Picos::from_ps(32_000));
         }
         d.net.inject(packet(1, 0, 7, 6, Picos::ZERO));

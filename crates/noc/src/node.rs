@@ -13,6 +13,35 @@ use crate::link::Link;
 use crate::network::Effect;
 use lumen_desim::Picos;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A Fibonacci-multiplicative hasher for [`PacketId`] keys.
+///
+/// Packet ids are dense sequential integers, so the default SipHash is
+/// pure overhead on the per-flit reassembly path; a single multiply
+/// spreads them across buckets just as well and is deterministic across
+/// runs (required for reproducibility — though nothing here iterates the
+/// map in a result-affecting order anyway).
+#[derive(Default)]
+pub struct PacketIdHasher(u64);
+
+impl Hasher for PacketIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PacketMap<V> = HashMap<PacketId, V, BuildHasherDefault<PacketIdHasher>>;
 
 /// The traffic-source half of a processing node.
 #[derive(Debug, Clone)]
@@ -91,7 +120,7 @@ impl SourceNode {
         let Some(front) = self.queue.front() else {
             return;
         };
-        links[self.inj_link.0].note_demand();
+        links[self.inj_link.index()].note_demand();
         if self.active_vc.is_none() {
             debug_assert!(front.kind.is_head(), "source queue must start at a head flit");
             for (v, &c) in self.credits.iter().enumerate() {
@@ -107,7 +136,7 @@ impl SourceNode {
         if self.credits[vc.0 as usize] == 0 {
             return;
         }
-        let link = &mut links[self.inj_link.0];
+        let link = &mut links[self.inj_link.index()];
         if !link.ready_at(now) {
             return;
         }
@@ -142,7 +171,7 @@ struct PartialPacket {
 pub struct SinkNode {
     id: NodeId,
     ej_link: LinkId,
-    in_flight: HashMap<PacketId, PartialPacket>,
+    in_flight: PacketMap<PartialPacket>,
     /// Packets fully received.
     pub packets_received: u64,
     /// Flits received.
@@ -163,7 +192,7 @@ impl SinkNode {
         SinkNode {
             id,
             ej_link,
-            in_flight: HashMap::new(),
+            in_flight: PacketMap::default(),
             packets_received: 0,
             flits_received: 0,
             flits_delivered: 0,

@@ -101,20 +101,53 @@ impl OutputPort {
     }
 }
 
+/// A bitset over the router's `ports × vcs` input-VC slots, iterated in
+/// ascending slot order — the same `(port, vc)` order the pipeline's full
+/// scans used, so replacing a scan with a set walk is order-identical.
+#[derive(Debug, Clone)]
+struct SlotSet {
+    words: Vec<u64>,
+}
+
+impl SlotSet {
+    fn new(slots: usize) -> Self {
+        SlotSet {
+            words: vec![0; slots.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
 /// A rack's communication router.
 #[derive(Debug, Clone)]
 pub struct Router {
     id: RouterId,
     routing: RoutingAlgorithm,
+    vcs: usize,
     /// Input ports, indexed by [`PortId`].
     pub inputs: Vec<InputPort>,
     /// Output ports, indexed by [`PortId`].
     pub outputs: Vec<OutputPort>,
     sa_rotate: usize,
     // Scratch buffers reused across ticks to avoid per-cycle allocation.
-    scratch_eligible: Vec<bool>,
-    scratch_input_used: Vec<bool>,
-    scratch_requests: Vec<Vec<usize>>,
+    // Requesters are bucketed per output port as a u64 bitmask over the
+    // `port * vcs + vc` slot space (capped at 64 slots per router), so
+    // allocation iterates set bits instead of pushing through Vecs.
+    scratch_port_mask: Vec<u64>,
     scratch_routes: Vec<PortId>,
     /// Flits this router has switched over its lifetime.
     pub flits_switched: u64,
@@ -126,6 +159,15 @@ pub struct Router {
     // are zero the router has nothing to do this cycle.
     buffered_flits: u32,
     active_vcs: u32,
+    // Incrementally maintained pipeline-stage membership, one bit per
+    // input-VC slot (`port * vcs + vc`), so each stage visits only live
+    // VCs instead of scanning every slot every cycle:
+    // - `sa_ready`: state Active and buffer non-empty (SA requesters)
+    // - `va_set`:   state VcAlloc (VA requesters)
+    // - `rc_ready`: state Idle and buffer non-empty (RC candidates)
+    sa_ready: SlotSet,
+    va_set: SlotSet,
+    rc_ready: SlotSet,
 }
 
 impl Router {
@@ -133,20 +175,28 @@ impl Router {
     /// links and feeders afterwards).
     pub fn new(id: RouterId, routing: RoutingAlgorithm, config: &NocConfig) -> Self {
         let p = config.ports_per_router();
+        let slots = p * config.vcs as usize;
+        assert!(
+            slots <= 64,
+            "mask-based switch/VC allocation supports at most 64 input-VC \
+             slots per router (got {slots})"
+        );
         Router {
             id,
             routing,
+            vcs: config.vcs as usize,
             inputs: (0..p).map(|_| InputPort::new(config)).collect(),
             outputs: (0..p).map(|_| OutputPort::new(config)).collect(),
             sa_rotate: 0,
-            scratch_eligible: vec![false; p * config.vcs as usize],
-            scratch_input_used: vec![false; p],
-            scratch_requests: (0..p).map(|_| Vec::with_capacity(4)).collect(),
+            scratch_port_mask: vec![0; p],
             scratch_routes: Vec::with_capacity(3),
             flits_switched: 0,
             flits_accepted: 0,
             buffered_flits: 0,
             active_vcs: 0,
+            sa_ready: SlotSet::new(slots),
+            va_set: SlotSet::new(slots),
+            rc_ready: SlotSet::new(slots),
         }
     }
 
@@ -188,54 +238,63 @@ impl Router {
     ) {
         let ports = self.outputs.len();
         let vcs = config.vcs as usize;
+        if self.sa_ready.is_empty() {
+            // No Active VC holds a flit: nothing to allocate, but the
+            // rotating priority still advances exactly as it always did.
+            self.sa_rotate = if self.sa_rotate + 1 == ports { 0 } else { self.sa_rotate + 1 };
+            return;
+        }
         let st_time = now + config.cycle();
-        self.scratch_input_used.fill(false);
-        // Bucket requesters by output port once; only ports with actual
-        // requesters do any further work.
-        for bucket in &mut self.scratch_requests {
-            bucket.clear();
+        let mut input_used: u64 = 0;
+        // Bucket requesters by output port once; `sa_ready` walks the same
+        // ascending (port, vc) order the full scan did, visiting only VCs
+        // that are Active with a flit buffered.
+        self.scratch_port_mask.fill(0);
+        let mut w = self.sa_ready.words[0];
+        while w != 0 {
+            let req = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let (ip, vc) = (req / vcs, req % vcs);
+            let VcState::Active { out_port, .. } = self.inputs[ip].vc_state[vc] else {
+                unreachable!("sa_ready slot not in Active state");
+            };
+            debug_assert!(self.inputs[ip].buffer.front(VcId(vc as u8)).is_some());
+            self.scratch_port_mask[out_port.0 as usize] |= 1u64 << req;
         }
-        for ip in 0..ports {
-            for vc in 0..vcs {
-                if let VcState::Active { out_port, .. } = self.inputs[ip].vc_state[vc] {
-                    if self.inputs[ip].buffer.front(VcId(vc as u8)).is_some() {
-                        self.scratch_requests[out_port.0 as usize].push(ip * vcs + vc);
-                    }
-                }
-            }
-        }
-        for k in 0..ports {
-            let op = (self.sa_rotate + k) % ports;
-            if self.scratch_requests[op].is_empty() {
+        // Rotating scan over output ports without a modulo per step.
+        let mut next_op = self.sa_rotate;
+        for _ in 0..ports {
+            let op = next_op;
+            next_op = if op + 1 == ports { 0 } else { op + 1 };
+            let req_mask = self.scratch_port_mask[op];
+            if req_mask == 0 {
                 continue;
             }
             let Some(link_id) = self.outputs[op].link else {
                 continue;
             };
-            links[link_id.0].note_demand();
-            if !links[link_id.0].ready_at(st_time) {
+            links[link_id.index()].note_demand();
+            if !links[link_id.index()].ready_at(st_time) {
                 continue;
             }
-            // Mark this output's requesters eligible (separate pass to
-            // keep borrows disjoint from the arbiter).
-            for idx in 0..self.scratch_requests[op].len() {
-                let req = self.scratch_requests[op][idx];
+            // An input port already granted this cycle (crossbar conflict)
+            // or an output VC out of credits disqualifies a requester.
+            let mut eligible: u64 = 0;
+            let mut m = req_mask;
+            while m != 0 {
+                let req = m.trailing_zeros() as usize;
+                m &= m - 1;
                 let (ip, vc) = (req / vcs, req % vcs);
-                self.scratch_eligible[req] = !self.scratch_input_used[ip]
+                let ok = input_used >> ip & 1 == 0
                     && match self.inputs[ip].vc_state[vc] {
                         VcState::Active { out_vc, .. } => {
                             self.outputs[op].credits[out_vc.0 as usize] > 0
                         }
                         _ => false,
                     };
+                eligible |= (ok as u64) << req;
             }
-            let eligible = &self.scratch_eligible;
-            let granted = self.outputs[op].sa_arbiter.grant(|i| eligible[i]);
-            for idx in 0..self.scratch_requests[op].len() {
-                let req = self.scratch_requests[op][idx];
-                self.scratch_eligible[req] = false;
-            }
-            let Some(req) = granted else {
+            let Some(req) = self.outputs[op].sa_arbiter.grant_masked(eligible) else {
                 continue;
             };
             let (ip, vc) = (req / vcs, VcId((req % vcs) as u8));
@@ -249,7 +308,13 @@ impl Router {
             self.outputs[op].credits[out_vc.0 as usize] -= 1;
             self.flits_switched += 1;
             self.buffered_flits -= 1;
-            let arrival = links[link_id.0].start_flit(st_time);
+            if self.inputs[ip].buffer.is_empty(vc) {
+                // Last buffered flit left; the VC stops requesting the
+                // switch until another flit arrives (or, for a tail, until
+                // a new packet restarts the pipeline below).
+                self.sa_ready.clear(req);
+            }
+            let arrival = links[link_id.index()].start_flit(st_time);
             effects.push(Effect::Flit {
                 link: link_id,
                 vc: out_vc,
@@ -267,59 +332,61 @@ impl Router {
                 self.outputs[op].vc_owner[out_vc.0 as usize] = None;
                 self.inputs[ip].vc_state[vc.0 as usize] = VcState::Idle;
                 self.active_vcs -= 1;
+                self.sa_ready.clear(req);
+                if !self.inputs[ip].buffer.is_empty(vc) {
+                    // The next packet's head is already waiting: it becomes
+                    // an RC candidate this very cycle (RC runs after SA).
+                    self.rc_ready.set(req);
+                }
             }
-            self.scratch_input_used[ip] = true;
+            input_used |= 1u64 << ip;
         }
-        self.sa_rotate = (self.sa_rotate + 1) % ports;
+        self.sa_rotate = if self.sa_rotate + 1 == ports { 0 } else { self.sa_rotate + 1 };
     }
 
     /// VA: hand free output VCs to packets whose route is computed.
     fn vc_allocation(&mut self, config: &NocConfig) {
         let ports = self.outputs.len();
         let vcs = config.vcs as usize;
-        // Bucket VC-allocation requesters by requested output port.
-        for bucket in &mut self.scratch_requests {
-            bucket.clear();
-        }
-        let mut any = false;
-        for ip in 0..ports {
-            for vc in 0..vcs {
-                if let VcState::VcAlloc { out_port } = self.inputs[ip].vc_state[vc] {
-                    self.scratch_requests[out_port.0 as usize].push(ip * vcs + vc);
-                    any = true;
-                }
-            }
-        }
-        if !any {
+        if self.va_set.is_empty() {
             return;
         }
+        // Bucket VC-allocation requesters by requested output port, in the
+        // same ascending (port, vc) order the full scan produced.
+        self.scratch_port_mask.fill(0);
+        let mut w = self.va_set.words[0];
+        while w != 0 {
+            let req = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let (ip, vc) = (req / vcs, req % vcs);
+            let VcState::VcAlloc { out_port } = self.inputs[ip].vc_state[vc] else {
+                unreachable!("va_set slot not in VcAlloc state");
+            };
+            self.scratch_port_mask[out_port.0 as usize] |= 1u64 << req;
+        }
         for op in 0..ports {
-            if self.scratch_requests[op].is_empty() || self.outputs[op].link.is_none() {
+            let mut req_mask = self.scratch_port_mask[op];
+            if req_mask == 0 || self.outputs[op].link.is_none() {
                 continue;
-            }
-            for idx in 0..self.scratch_requests[op].len() {
-                let req = self.scratch_requests[op][idx];
-                self.scratch_eligible[req] = true;
             }
             for out_vc in 0..vcs {
                 if self.outputs[op].vc_owner[out_vc].is_some() {
                     continue;
                 }
-                let eligible = &self.scratch_eligible;
-                let Some(req) = self.outputs[op].va_arbiter.grant(|i| eligible[i]) else {
+                let Some(req) = self.outputs[op].va_arbiter.grant_masked(req_mask) else {
                     break; // no remaining requester for this output
                 };
-                self.scratch_eligible[req] = false;
+                req_mask &= !(1u64 << req);
                 let (ip, vc) = (req / vcs, req % vcs);
                 self.outputs[op].vc_owner[out_vc] = Some((PortId(ip as u8), VcId(vc as u8)));
                 self.inputs[ip].vc_state[vc] = VcState::Active {
                     out_port: PortId(op as u8),
                     out_vc: VcId(out_vc as u8),
                 };
-            }
-            for idx in 0..self.scratch_requests[op].len() {
-                let req = self.scratch_requests[op][idx];
-                self.scratch_eligible[req] = false;
+                self.va_set.clear(req);
+                if !self.inputs[ip].buffer.is_empty(VcId(vc as u8)) {
+                    self.sa_ready.set(req);
+                }
             }
         }
     }
@@ -332,14 +399,19 @@ impl Router {
     /// steers around links parked at low rates or disabled for relock.
     fn route_computation(&mut self, config: &NocConfig) {
         let vcs = config.vcs as usize;
-        for ip in 0..self.inputs.len() {
-            for vc in 0..vcs {
-                if self.inputs[ip].vc_state[vc] != VcState::Idle {
-                    continue;
-                }
-                let Some(front) = self.inputs[ip].buffer.front(VcId(vc as u8)) else {
-                    continue;
-                };
+        // Every rc_ready VC (Idle with a buffered head flit) computes its
+        // route this cycle, so the whole word empties; take it up front.
+        for wi in 0..self.rc_ready.words.len() {
+            let mut w = std::mem::take(&mut self.rc_ready.words[wi]);
+            while w != 0 {
+                let req = (wi << 6) | w.trailing_zeros() as usize;
+                w &= w - 1;
+                let (ip, vc) = (req / vcs, req % vcs);
+                debug_assert_eq!(self.inputs[ip].vc_state[vc], VcState::Idle);
+                let front = self.inputs[ip]
+                    .buffer
+                    .front(VcId(vc as u8))
+                    .expect("rc_ready VC with an empty buffer");
                 debug_assert!(
                     front.kind.is_head(),
                     "non-head flit {front} at front of idle VC: wormhole order violated"
@@ -365,6 +437,7 @@ impl Router {
                     best
                 };
                 self.inputs[ip].vc_state[vc] = VcState::VcAlloc { out_port };
+                self.va_set.set(req);
                 self.active_vcs += 1;
             }
         }
@@ -372,7 +445,16 @@ impl Router {
 
     /// Accepts a flit delivered by an upstream link into an input buffer.
     pub fn accept_flit(&mut self, port: PortId, vc: VcId, flit: crate::flit::Flit) {
-        self.inputs[port.0 as usize].buffer.push(vc, flit);
+        let ip = port.0 as usize;
+        self.inputs[ip].buffer.push(vc, flit);
+        // A previously-empty VC becomes a pipeline candidate: Idle VCs go
+        // to RC, Active ones back into SA contention. VcAlloc VCs are
+        // already tracked in va_set and need nothing here.
+        match self.inputs[ip].vc_state[vc.0 as usize] {
+            VcState::Idle => self.rc_ready.set(ip * self.vcs + vc.0 as usize),
+            VcState::Active { .. } => self.sa_ready.set(ip * self.vcs + vc.0 as usize),
+            VcState::VcAlloc { .. } => {}
+        }
         self.buffered_flits += 1;
         self.flits_accepted += 1;
     }

@@ -201,7 +201,7 @@ mod tests {
         let c = cfg();
         let dst = c.node_at(c.router_at(RackCoord::new(6, 2)), 3);
         for start in 0..c.rack_count() {
-            let mut here = RouterId(start);
+            let mut here = RouterId(start as u32);
             let mut hops = 0;
             loop {
                 let port = route(&c, RoutingAlgorithm::XY, here, dst);
@@ -219,7 +219,7 @@ mod tests {
                 }
             }
             assert_eq!(here, c.router_of_node(dst));
-            let src_node = c.node_at(RouterId(start), 0);
+            let src_node = c.node_at(RouterId(start as u32), 0);
             assert_eq!(hops, hop_count(&c, src_node, dst), "from r{start}");
         }
     }
@@ -253,12 +253,12 @@ mod tests {
         let c = cfg();
         let mut cands = Vec::new();
         for here in 0..c.rack_count() {
-            let here = RouterId(here);
+            let here = RouterId(here as u32);
             for dst_r in 0..c.rack_count() {
-                let dst = c.node_at(RouterId(dst_r), 0);
+                let dst = c.node_at(RouterId(dst_r as u32), 0);
                 route_candidates(&c, RoutingAlgorithm::WestFirst, here, dst, &mut cands);
                 assert!(!cands.is_empty());
-                let d0 = c.coord_of(here).manhattan(c.coord_of(RouterId(dst_r)));
+                let d0 = c.coord_of(here).manhattan(c.coord_of(RouterId(dst_r as u32)));
                 for &p in &cands {
                     match port_direction(&c, p) {
                         None => assert_eq!(d0, 0),
@@ -267,7 +267,7 @@ mod tests {
                                 .coord_of(here)
                                 .neighbor(dir, c.width, c.height)
                                 .expect("candidate must stay in mesh");
-                            let d1 = next.manhattan(c.coord_of(RouterId(dst_r)));
+                            let d1 = next.manhattan(c.coord_of(RouterId(dst_r as u32)));
                             assert_eq!(d1 + 1, d0, "{here}->{dst} via {dir}");
                         }
                     }
@@ -284,8 +284,8 @@ mod tests {
         let mut cands = Vec::new();
         for here in 0..c.rack_count() {
             for dst_r in 0..c.rack_count() {
-                let dst = c.node_at(RouterId(dst_r), 0);
-                route_candidates(&c, RoutingAlgorithm::WestFirst, RouterId(here), dst, &mut cands);
+                let dst = c.node_at(RouterId(dst_r as u32), 0);
+                route_candidates(&c, RoutingAlgorithm::WestFirst, RouterId(here as u32), dst, &mut cands);
                 let west = direction_port(&c, Direction::West);
                 if cands.contains(&west) {
                     assert_eq!(cands.len(), 1, "west must be exclusive");

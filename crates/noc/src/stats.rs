@@ -95,7 +95,7 @@ impl NetworkSnapshot {
             }
         };
         let flits_switched = (0..net.router_count())
-            .map(|r| net.router(crate::ids::RouterId(r)).flits_switched)
+            .map(|r| net.router(crate::ids::RouterId(r as u32)).flits_switched)
             .sum();
         NetworkSnapshot {
             mesh: class(LinkKind::InterRouter),

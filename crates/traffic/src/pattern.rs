@@ -49,7 +49,7 @@ impl Pattern {
         match self {
             Pattern::Uniform => {
                 let n = config.node_count();
-                let mut dst = NodeId(rng.index(n - 1));
+                let mut dst = NodeId(rng.index(n - 1) as u32);
                 if dst.0 >= src.0 {
                     dst = NodeId(dst.0 + 1);
                 }
@@ -79,7 +79,7 @@ impl Pattern {
                 // Uniform over the remaining nodes (excluding src and the
                 // listed hotspots).
                 loop {
-                    let mut dst = NodeId(rng.index(n - 1));
+                    let mut dst = NodeId(rng.index(n - 1) as u32);
                     if dst.0 >= src.0 {
                         dst = NodeId(dst.0 + 1);
                     }
@@ -142,7 +142,7 @@ mod tests {
         for _ in 0..20_000 {
             let dst = Pattern::Uniform.pick(&config, src, &mut rng).unwrap();
             assert_ne!(dst, src);
-            seen[dst.0] = true;
+            seen[dst.index()] = true;
         }
         let covered = seen.iter().filter(|&&b| b).count();
         assert!(covered > 500, "covered {covered}/512");
@@ -156,9 +156,9 @@ mod tests {
         let mut counts = vec![0u32; config.node_count()];
         let trials = 400_000;
         for i in 0..trials {
-            let src = NodeId(i % config.node_count());
+            let src = NodeId((i % config.node_count()) as u32);
             if let Some(dst) = pattern.pick(&config, src, &mut rng) {
-                counts[dst.0] += 1;
+                counts[dst.index()] += 1;
             }
         }
         let hot = counts[348] as f64;

@@ -182,7 +182,7 @@ impl TrafficSource for SelfSimilarSource {
             }
             let Some(dst) = self
                 .pattern
-                .pick(&self.noc, NodeId(src), &mut self.rng)
+                .pick(&self.noc, NodeId(src as u32), &mut self.rng)
             else {
                 continue;
             };
@@ -190,7 +190,7 @@ impl TrafficSource for SelfSimilarSource {
             let id = PacketId(self.next_id);
             self.next_id += 1;
             self.generated += 1;
-            out.push(Packet::new(id, NodeId(src), dst, size, now));
+            out.push(Packet::new(id, NodeId(src as u32), dst, size, now));
         }
     }
 

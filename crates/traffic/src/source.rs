@@ -116,14 +116,14 @@ impl TrafficSource for SyntheticSource {
             if !self.rng.chance(p) {
                 continue;
             }
-            let Some(dst) = self.pattern.pick(&self.config, NodeId(src), &mut self.rng) else {
+            let Some(dst) = self.pattern.pick(&self.config, NodeId(src as u32), &mut self.rng) else {
                 continue;
             };
             let size = self.size.draw(&mut self.rng);
             let id = PacketId(self.next_id);
             self.next_id += 1;
             self.generated += 1;
-            out.push(Packet::new(id, NodeId(src), dst, size, now));
+            out.push(Packet::new(id, NodeId(src as u32), dst, size, now));
         }
     }
 
@@ -179,8 +179,8 @@ impl TrafficSource for TraceSource {
             self.generated += 1;
             out.push(Packet::new(
                 id,
-                NodeId(rec.src),
-                NodeId(rec.dst),
+                NodeId(rec.src as u32),
+                NodeId(rec.dst as u32),
                 rec.size_flits,
                 now,
             ));

@@ -30,8 +30,8 @@ fn record_trace(config: &SystemConfig, cycles: u64) -> Trace {
         .iter()
         .map(|p| TraceRecord {
             at_ps: p.created_at.as_ps(),
-            src: p.src.0,
-            dst: p.dst.0,
+            src: p.src.index(),
+            dst: p.dst.index(),
             size_flits: p.size_flits,
         })
         .collect();

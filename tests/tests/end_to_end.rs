@@ -133,8 +133,8 @@ fn trace_source_matches_synthetic_workload() {
             .iter()
             .map(|p| lumen_traffic::TraceRecord {
                 at_ps: p.created_at.as_ps(),
-                src: p.src.0,
-                dst: p.dst.0,
+                src: p.src.index(),
+                dst: p.dst.index(),
                 size_flits: p.size_flits,
             })
             .collect(),
@@ -169,7 +169,7 @@ fn manual_rate_change_mid_flight_is_safe() {
         for l in 0..n {
             let rate = if step % 2 == 0 { 5.0 } else { 10.0 };
             let now = Picos::from_ps(1600 * 500 * step);
-            sim.network_mut().link_mut(LinkId(l)).begin_rate_change(
+            sim.network_mut().link_mut(LinkId(l as u32)).begin_rate_change(
                 now,
                 lumen_opto::Gbps::from_gbps(rate),
                 Picos::from_ps(32_000),

@@ -84,8 +84,8 @@ proptest! {
         }
         let n = config.noc.node_count();
         for p in &out {
-            prop_assert!(p.src.0 < n);
-            prop_assert!(p.dst.0 < n);
+            prop_assert!(p.src.index() < n);
+            prop_assert!(p.dst.index() < n);
             prop_assert_ne!(p.src, p.dst);
             prop_assert!(p.size_flits >= 1 && p.size_flits <= 64);
         }
