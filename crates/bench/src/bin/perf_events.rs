@@ -1,16 +1,23 @@
 //! Perf-trajectory harness: measures event-core throughput (events/sec)
 //! on the full-scale `fig5_load` uniform-random points for both calendar
 //! backends — the bucketed cycle wheel and the pre-wheel reference binary
-//! heap — plus the `fig5_load --quick` sweep wall-clock at `--jobs 1` and
-//! `--jobs N`, and writes the numbers to `BENCH_events.json` so later PRs
-//! have a recorded baseline to compare against.
+//! heap — and for the sharded conservative-parallel backend at shard
+//! counts {1, 2, 4}, plus the `fig5_load --quick` sweep wall-clock at
+//! `--jobs 1` and `--jobs 4`, and writes the numbers to
+//! `BENCH_events.json` so later PRs have a recorded baseline to compare
+//! against.
 //!
-//! The two backends are also cross-checked here: every measured point
-//! must deliver identical packet counts and energy on both calendars, so
-//! a perf run doubles as a bit-identity smoke test.
+//! All backends are also cross-checked here: every measured point must
+//! deliver identical packet counts and energy on every calendar and
+//! every shard count, so a perf run doubles as a bit-identity smoke
+//! test. Sharded events/sec is reported as *sequential* event count over
+//! sharded wall-clock, so speedups are comparable across shard counts
+//! (each shard engine also processes barrier-window bookkeeping events
+//! that the sequential engine does not).
 //!
 //! Run: `cargo run --release -p lumen-bench --bin perf_events -- \
-//!       [--quick] [--jobs N] [--out PATH]` (default out: BENCH_events.json)
+//!       [--quick] [--jobs N] [--shards N] [--out PATH]`
+//! (default out: BENCH_events.json)
 
 use lumen_bench::{banner, defaults, run_points, BenchArgs, RunScale};
 use lumen_core::prelude::*;
@@ -42,6 +49,37 @@ struct BackendPerf {
 impl BackendPerf {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.wall_s
+    }
+}
+
+/// One sharded-backend measurement of one simulation point.
+struct ShardPerf {
+    shards: usize,
+    events: u64,
+    wall_s: f64,
+    delivered: u64,
+    energy_nj: f64,
+}
+
+fn run_point_sharded(config: SystemConfig, rate: f64, scale: RunScale, shards: usize) -> ShardPerf {
+    let warmup = scale.cycles(defaults::WARMUP_CYCLES);
+    let measure = scale.cycles(60_000);
+    let source = Box::new(SyntheticSource::new(
+        &config.noc,
+        Pattern::Uniform,
+        RateProfile::Constant(rate),
+        PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS),
+        Rng::seed_from(config.seed),
+    ));
+    let start = Instant::now();
+    let outcome = lumen_core::run_sharded(config, source, None, warmup, measure, shards);
+    let wall_s = start.elapsed().as_secs_f64();
+    ShardPerf {
+        shards,
+        events: outcome.events,
+        wall_s,
+        delivered: outcome.sim.network().packets_delivered(),
+        energy_nj: outcome.sim.energy_nj(outcome.end),
     }
 }
 
@@ -92,8 +130,12 @@ fn sweep_points(scale: RunScale) -> Vec<Point> {
             .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
             .measure_cycles(scale.cycles(60_000));
         points.push(
-            Point::new(format!("{name} zero-load"), exp.clone(), Workload::ZeroLoad { size })
-                .in_group(0),
+            Point::new(
+                format!("{name} zero-load"),
+                exp.clone(),
+                Workload::ZeroLoad { size },
+            )
+            .in_group(0),
         );
         points.extend(rates.iter().enumerate().map(|(i, &rate)| {
             Point::new(
@@ -107,7 +149,13 @@ fn sweep_points(scale: RunScale) -> Vec<Point> {
     points
 }
 
-fn json_point(name: &str, cycles: u64, wheel: &BackendPerf, heap: &BackendPerf) -> String {
+fn json_point(
+    name: &str,
+    cycles: u64,
+    wheel: &BackendPerf,
+    heap: &BackendPerf,
+    shard_runs: &[ShardPerf],
+) -> String {
     let backend = |p: &BackendPerf| {
         format!(
             "{{\"events\": {}, \"scheduled\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}}}",
@@ -117,11 +165,28 @@ fn json_point(name: &str, cycles: u64, wheel: &BackendPerf, heap: &BackendPerf) 
             p.events_per_sec()
         )
     };
+    // Sharded events/sec uses the sequential event count over the
+    // sharded wall-clock so the numbers are comparable across shard
+    // counts (see module docs).
+    let shards: Vec<String> = shard_runs
+        .iter()
+        .map(|p| {
+            format!(
+                "        {{\"shards\": {}, \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}}}",
+                p.shards,
+                p.events,
+                p.wall_s,
+                wheel.events as f64 / p.wall_s,
+                shard_runs[0].wall_s / p.wall_s
+            )
+        })
+        .collect();
     format!(
-        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2}\n    }}",
+        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2},\n      \"sharded\": [\n{}\n      ]\n    }}",
         backend(wheel),
         backend(heap),
-        wheel.events_per_sec() / heap.events_per_sec()
+        wheel.events_per_sec() / heap.events_per_sec(),
+        shards.join(",\n")
     )
 }
 
@@ -142,9 +207,10 @@ fn main() {
         Ok(a) => a,
         Err(lumen_bench::ParseOutcome::Help) => {
             println!(
-                "usage: perf_events [--quick] [--jobs N] [--out PATH]\n\
+                "usage: perf_events [--quick] [--jobs N] [--shards N] [--out PATH]\n\
                  measures event-core throughput on both calendar backends and\n\
-                 writes BENCH_events.json (the perf trajectory record)"
+                 on the sharded parallel backend (shards 1/2/4 plus --shards N),\n\
+                 then writes BENCH_events.json (the perf trajectory record)"
             );
             return;
         }
@@ -205,7 +271,43 @@ fn main() {
             wheel.delivered,
             wheel.energy_nj
         );
-        point_json.push(json_point(name, point_cycles, &wheel, &heap));
+
+        // Sharded backend at 1/2/4 shards (plus --shards N if distinct):
+        // every run must reproduce the sequential physics exactly.
+        let mut shard_list = vec![1usize, 2, 4];
+        if !shard_list.contains(&args.shards) {
+            shard_list.push(args.shards);
+        }
+        let mut shard_runs = Vec::new();
+        for &shards in &shard_list {
+            let config = {
+                let mut c = SystemConfig::paper_default();
+                c.power_aware = pa;
+                c
+            };
+            let perf = run_point_sharded(config, rate, scale, shards);
+            assert_eq!(
+                perf.delivered, wheel.delivered,
+                "sharded backend diverged on {name} at {shards} shards"
+            );
+            assert!(
+                perf.energy_nj == wheel.energy_nj,
+                "energy diverged on {name} at {shards} shards: {} vs {}",
+                perf.energy_nj,
+                wheel.energy_nj
+            );
+            println!(
+                "  shards {shards}       {:>12.0} events/s  ({:.2}s wall, {:.2}x vs 1 shard)",
+                wheel.events as f64 / perf.wall_s,
+                perf.wall_s,
+                shard_runs
+                    .first()
+                    .map_or(1.0, |p: &ShardPerf| p.wall_s / perf.wall_s),
+            );
+            shard_runs.push(perf);
+        }
+        println!("  cross-check ok at every shard count");
+        point_json.push(json_point(name, point_cycles, &wheel, &heap, &shard_runs));
     }
 
     // --- Whole-sweep wall-clock at jobs=1 and jobs=N (quick scale). -----
@@ -214,8 +316,8 @@ fn main() {
     let sweep = sweep_points(RunScale::Quick);
     let n_points = sweep.len();
     let mut sweep_json = Vec::new();
-    let mut jobs_list = vec![1usize];
-    if args.jobs > 1 {
+    let mut jobs_list = vec![1usize, 4];
+    if !jobs_list.contains(&args.jobs) {
         jobs_list.push(args.jobs);
     }
     for &jobs in &jobs_list {
@@ -239,7 +341,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"lumen-bench-events/1\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"lumen-bench-events/2\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"sharded_note\": \"sharded events_per_sec = sequential event count / sharded wall-clock (comparable across shard counts); parallel speedup requires host cores >= shards — on a 1-core host shards time-slice and measure pure barrier overhead\",\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         Executor::available().jobs(),
         seed_json.join(",\n"),
         point_json.join(",\n"),

@@ -51,15 +51,24 @@ pub struct BenchArgs {
     /// Worker threads for the point executor (`--jobs N`, default: all
     /// available cores).
     pub jobs: usize,
+    /// Shards per simulation (`--shards N`, default 1 = sequential).
+    /// Results are bit-identical at every shard count; shards trade
+    /// point-level parallelism (`--jobs`) for within-point parallelism.
+    pub shards: usize,
 }
 
 impl BenchArgs {
     /// Parses the process arguments, exiting with a usage message on any
     /// unknown or malformed flag (exit code 2) or after `--help` (0).
+    /// Also installs the parsed shard count as the process default so
+    /// every [`Experiment`] the harness builds inherits it.
     pub fn parse() -> BenchArgs {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         match Self::try_parse(&argv) {
-            Ok(args) => args,
+            Ok(args) => {
+                lumen_core::set_default_shards(args.shards);
+                args
+            }
             Err(ParseOutcome::Help) => {
                 println!("{}", Self::usage());
                 std::process::exit(0);
@@ -76,6 +85,7 @@ impl BenchArgs {
     pub fn try_parse(argv: &[String]) -> Result<BenchArgs, ParseOutcome> {
         let mut scale = RunScale::Full;
         let mut jobs = Executor::available().jobs();
+        let mut shards = 1usize;
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -87,33 +97,52 @@ impl BenchArgs {
                     })?;
                     jobs = parse_jobs(value)?;
                 }
+                "--shards" | "-s" => {
+                    let value = it.next().ok_or_else(|| {
+                        ParseOutcome::Error(format!("`{arg}` needs a shard count"))
+                    })?;
+                    shards = parse_shards(value)?;
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--jobs=") {
                         jobs = parse_jobs(value)?;
+                    } else if let Some(value) = other.strip_prefix("--shards=") {
+                        shards = parse_shards(value)?;
                     } else {
                         return Err(ParseOutcome::Error(format!("unknown flag `{other}`")));
                     }
                 }
             }
         }
-        Ok(BenchArgs { scale, jobs })
+        Ok(BenchArgs {
+            scale,
+            jobs,
+            shards,
+        })
     }
 
-    /// The executor sized by `--jobs`.
+    /// The executor sized by `--jobs`, capped so `jobs × shards` does not
+    /// oversubscribe the host (each point occupies `shards` threads).
     pub fn executor(&self) -> Executor {
-        Executor::new(self.jobs)
+        let host = Executor::available().jobs();
+        let cap = (host / self.shards.max(1)).max(1);
+        Executor::new(self.jobs.min(cap).max(1))
     }
 
     /// The usage text shared by every harness binary.
     pub fn usage() -> String {
         format!(
-            "usage: <harness> [--quick] [--jobs N] [--help]\n\
+            "usage: <harness> [--quick] [--jobs N] [--shards N] [--help]\n\
              \n\
              options:\n\
-             \x20 --quick        ~10x shorter horizons (smoke/CI runs)\n\
-             \x20 --jobs N, -j N worker threads for simulation points\n\
-             \x20                (default: all available cores, here {})\n\
-             \x20 --help, -h     show this message",
+             \x20 --quick          ~10x shorter horizons (smoke/CI runs)\n\
+             \x20 --jobs N, -j N   worker threads for simulation points\n\
+             \x20                  (default: all available cores, here {};\n\
+             \x20                  capped so jobs x shards <= cores)\n\
+             \x20 --shards N, -s N parallel shards within each simulation\n\
+             \x20                  (default 1 = sequential; results are\n\
+             \x20                  bit-identical at every shard count)\n\
+             \x20 --help, -h       show this message",
             Executor::available().jobs()
         )
     }
@@ -137,6 +166,15 @@ fn parse_jobs(value: &str) -> Result<usize, ParseOutcome> {
     }
 }
 
+fn parse_shards(value: &str) -> Result<usize, ParseOutcome> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ParseOutcome::Error(format!(
+            "`--shards` needs a positive integer, got `{value}`"
+        ))),
+    }
+}
+
 /// Runs `points` on `executor`, printing one progress line per completed
 /// point, and returns the results in submission order.
 ///
@@ -149,7 +187,11 @@ pub fn run_points(executor: &Executor, points: &[Point]) -> Vec<RunResult> {
     let total = points.len();
     let results = executor.run_with_progress(points, |pr| {
         let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-        let status = if pr.run_result().is_some() { "ok" } else { "FAILED" };
+        let status = if pr.run_result().is_some() {
+            "ok"
+        } else {
+            "FAILED"
+        };
         eprintln!(
             "  [{k:>3}/{total}] {:<28} {status:>6}  {:.1}s",
             pr.label,
@@ -242,6 +284,29 @@ mod tests {
         let a = BenchArgs::try_parse(&[]).unwrap();
         assert_eq!(a.scale, RunScale::Full);
         assert_eq!(a.jobs, Executor::available().jobs());
+        assert_eq!(a.shards, 1);
+    }
+
+    #[test]
+    fn args_shards_forms() {
+        for form in [
+            argv(&["--shards", "4"]),
+            argv(&["--shards=4"]),
+            argv(&["-s", "4"]),
+        ] {
+            let a = BenchArgs::try_parse(&form).unwrap();
+            assert_eq!(a.shards, 4, "{form:?}");
+        }
+    }
+
+    #[test]
+    fn executor_caps_jobs_times_shards() {
+        let host = Executor::available().jobs();
+        let a = BenchArgs::try_parse(&argv(&["--jobs", "64", "--shards", "2"])).unwrap();
+        assert!(a.executor().jobs() * 2 <= host.max(2));
+        // One shard leaves --jobs alone (up to the host).
+        let b = BenchArgs::try_parse(&argv(&["--jobs", "2"])).unwrap();
+        assert_eq!(b.executor().jobs(), 2.min(host));
     }
 
     #[test]
@@ -265,6 +330,10 @@ mod tests {
             argv(&["--jobs"]),
             argv(&["--jobs", "zero"]),
             argv(&["--jobs=0"]),
+            argv(&["--shards"]),
+            argv(&["--shards", "zero"]),
+            argv(&["--shards=0"]),
+            argv(&["--shard", "2"]),
             argv(&["extra"]),
         ] {
             match BenchArgs::try_parse(&bad) {
@@ -287,7 +356,9 @@ mod tests {
     fn run_points_reports_in_order() {
         let mut config = SystemConfig::paper_default();
         config.noc = lumen_noc::NocConfig::small_for_tests();
-        let exp = Experiment::new(config).warmup_cycles(200).measure_cycles(1_000);
+        let exp = Experiment::new(config)
+            .warmup_cycles(200)
+            .measure_cycles(1_000);
         let points: Vec<Point> = (0..3)
             .map(|i| {
                 Point::new(

@@ -286,8 +286,7 @@ impl FaultPlan {
     /// active dropout suffers at least one bit error, per the
     /// receiver-sensitivity BER model under the dropout's starved light.
     pub fn corruption_probability(&self, rate: Gbps) -> f64 {
-        let received =
-            MicroWatts::from_uw(self.nominal_uw * self.config.dropout_light_fraction);
+        let received = MicroWatts::from_uw(self.nominal_uw * self.config.dropout_light_fraction);
         self.sensitivity
             .flit_corruption_probability(received, rate, self.flit_bits)
     }
@@ -296,6 +295,26 @@ impl FaultPlan {
     /// Never draws from the RNG when `p` is zero.
     pub fn draw_corruption(&mut self, link: usize, p: f64) -> bool {
         self.corruption_rng[link].chance(p)
+    }
+
+    /// Adopts another plan's per-link state for a range of links the donor
+    /// owned during a sharded run. Per-link RNG streams are independent,
+    /// so the donor's draws for its links are exactly the draws the
+    /// sequential engine would have made.
+    pub(crate) fn adopt_links(&mut self, donor: &FaultPlan, links: std::ops::Range<usize>) {
+        for l in links {
+            self.outage_rng[l] = donor.outage_rng[l].clone();
+            self.dropout_rng[l] = donor.dropout_rng[l].clone();
+            self.corruption_rng[l] = donor.corruption_rng[l].clone();
+            self.outage_until[l] = donor.outage_until[l];
+            self.dropout_until[l] = donor.dropout_until[l];
+        }
+    }
+
+    /// Folds in fault windows counted on another shard (each shard counts
+    /// onsets only for the links it owns).
+    pub(crate) fn add_faults_injected(&mut self, n: u64) {
+        self.faults_injected += n;
     }
 }
 

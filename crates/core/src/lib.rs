@@ -46,6 +46,7 @@ pub mod exec;
 pub mod fault;
 pub mod results;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 pub mod sweep;
 
@@ -69,5 +70,8 @@ pub use exec::{Executor, Point, PointError, PointResult, Workload};
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FAULT_STREAM};
 pub use results::RunResult;
 pub use runner::Experiment;
+pub use shard::{
+    default_shards, effective_shards, run_sharded, set_default_shards, ShardedOutcome,
+};
 pub use sim::PowerAwareSim;
 pub use sweep::{LoadSweep, SweepPoint};

@@ -2,11 +2,8 @@
 
 use crate::config::SystemConfig;
 use crate::results::RunResult;
-use crate::sim::PowerAwareSim;
 use lumen_desim::Rng;
-use lumen_traffic::{
-    PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource,
-};
+use lumen_traffic::{PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource};
 
 /// The injection rate (packets/cycle) of the near-idle run that anchors
 /// the paper's saturation-throughput definition (§4.1).
@@ -21,11 +18,15 @@ pub struct Experiment {
     measure_cycles: u64,
     sample_every: Option<u64>,
     audit: bool,
+    shards: usize,
 }
 
 impl Experiment {
     /// Creates an experiment with defaults suitable for the paper's
     /// steady-state measurements (20 k warmup, 100 k measured cycles).
+    /// The shard count starts at the process default (see
+    /// [`crate::shard::set_default_shards`]); results are bit-identical
+    /// at every shard count.
     pub fn new(config: SystemConfig) -> Self {
         Experiment {
             config,
@@ -33,7 +34,15 @@ impl Experiment {
             measure_cycles: 100_000,
             sample_every: None,
             audit: false,
+            shards: crate::shard::default_shards(),
         }
+    }
+
+    /// Sets the number of parallel shards the run is split into
+    /// (clamped to the mesh height; 1 = sequential engine).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Sets the warmup length.
@@ -76,19 +85,20 @@ impl Experiment {
         &self.config
     }
 
-    /// Runs the experiment with an arbitrary traffic source.
-    pub fn run(&self, source: Box<dyn TrafficSource>) -> RunResult {
-        let mut engine =
-            PowerAwareSim::build_engine(self.config.clone(), source, self.sample_every);
-        let cycle = self.config.noc.cycle();
-        let warmup_end = cycle * self.warmup_cycles;
-        engine.run_until(warmup_end);
-        let now = engine.now();
-        engine.model_mut().begin_measurement(now);
-        let end = cycle * (self.warmup_cycles + self.measure_cycles);
-        engine.run_until(end);
-
-        let sim = engine.model();
+    /// Runs the experiment with an arbitrary traffic source, on the
+    /// configured shard count (sequentially for 1 shard, or on the
+    /// conservative-parallel backend otherwise — same results either
+    /// way, bit for bit).
+    pub fn run(&self, source: Box<dyn TrafficSource + Send>) -> RunResult {
+        let outcome = crate::shard::run_sharded(
+            self.config.clone(),
+            source,
+            self.sample_every,
+            self.warmup_cycles,
+            self.measure_cycles,
+            self.shards,
+        );
+        let (sim, end) = (&outcome.sim, outcome.end);
         if self.audit || cfg!(debug_assertions) {
             lumen_noc::audit(sim.network()).assert_ok();
         }
@@ -222,6 +232,25 @@ mod tests {
     fn splash_runs() {
         let r = small(true).run_splash(SplashApp::Radix);
         assert!(r.packets_delivered > 0);
+    }
+
+    #[test]
+    fn sharded_experiment_matches_sequential() {
+        let exp = small(true).sample_every(1_000);
+        let seq = exp.clone().shards(1).run_uniform(0.1, PacketSize::Fixed(4));
+        let par = exp.shards(2).run_uniform(0.1, PacketSize::Fixed(4));
+        assert_eq!(par.packets_injected, seq.packets_injected);
+        assert_eq!(par.packets_delivered, seq.packets_delivered);
+        assert_eq!(
+            par.avg_latency_cycles.to_bits(),
+            seq.avg_latency_cycles.to_bits()
+        );
+        assert_eq!(
+            par.p99_latency_cycles.to_bits(),
+            seq.p99_latency_cycles.to_bits()
+        );
+        assert_eq!(par.avg_power_mw.to_bits(), seq.avg_power_mw.to_bits());
+        assert_eq!(par.transitions, seq.transitions);
     }
 
     #[test]

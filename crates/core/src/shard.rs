@@ -1,0 +1,951 @@
+//! The sharded conservative-parallel simulation backend.
+//!
+//! [`run_sharded`] partitions the mesh into `S` contiguous row bands
+//! (rack regions), gives each band its own [`PowerAwareSim`] replica and
+//! event calendar on a dedicated worker thread, and synchronizes the
+//! workers on deterministic *barrier windows* one router cycle wide.
+//!
+//! ## Why one cycle of lookahead is safe
+//!
+//! Cross-shard effects — flits traversing a boundary link, credits
+//! returning across it — are only ever *emitted* by the router-core tick,
+//! which is the last event of its window (`run_until(T_k)` processes the
+//! half-open window `(T_{k-1}, T_k]`, and the tick fires exactly at
+//! `T_k`). Every such effect targets `T_k + delay` with `delay > 0`, so
+//! by exchanging mailboxes at the barrier after window `k`, each event
+//! reaches its destination shard strictly before the window that must
+//! process it. Flit-arrival handlers, the only other event source that
+//! crosses ownership lines, emit purely local effects (sink credits on
+//! the same shard's ejection links).
+//!
+//! ## Why the result is bit-identical to the sequential engine
+//!
+//! Within one timestamp, the sequential calendar processes events in
+//! insertion order; the only orderings that affect state are (a) every
+//! flit/credit arrival precedes the same-time `CoreTick`, and (b) policy
+//! windows run inside the tick handler. The sharded runtime preserves
+//! (a) because the engine inbox wins timestamp ties and the next tick is
+//! scheduled only after the mailbox drain, and (b) by deferring DVS
+//! windows to the barrier (where cross-shard buffer occupancy is
+//! injected) while still running them at the tick's timestamp, before
+//! the next tick. All remaining same-time permutations commute: they
+//! touch disjoint per-link state. Floating-point accumulation order is
+//! preserved by replaying deliveries and summing per-link energies at
+//! the coordinator in the sequential engine's global order, keyed by the
+//! `(launch cycle, shard, launch position)` delivery tags.
+
+use crate::config::SystemConfig;
+use crate::sim::{PowerAwareSim, SimEvent};
+use lumen_desim::Picos;
+use lumen_noc::ids::{Direction, LinkId, RouterId};
+use lumen_noc::{NocConfig, Packet};
+use lumen_policy::PolicyMode;
+use lumen_stats::{Histogram, Summary, TimeSeries};
+use lumen_traffic::TrafficSource;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Delivery keys pack `(launch_cycle << 24) | (shard << 20) | position`;
+/// sorting `(arrival time, key)` reproduces the sequential calendar's
+/// delivery order. 20 bits of position bound ejection launches per shard
+/// per cycle (≤ #ejection links), 4 bits of shard bound the row count.
+pub(crate) const KEY_CYCLE_SHIFT: u64 = 24;
+/// Shard-id field offset within a delivery key (see [`KEY_CYCLE_SHIFT`]).
+pub(crate) const KEY_SHARD_SHIFT: u64 = 20;
+
+// ---------------------------------------------------------------------
+// Process-wide default shard count
+// ---------------------------------------------------------------------
+
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default shard count used by
+/// [`Experiment`](crate::runner::Experiment) when none is given
+/// explicitly. The shared bench CLI calls this from `--shards N`.
+pub fn set_default_shards(n: usize) {
+    DEFAULT_SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default shard count: the last
+/// [`set_default_shards`] value, else `LUMEN_TEST_SHARDS` from the
+/// environment (read once), else 1 (sequential).
+pub fn default_shards() -> usize {
+    let v = DEFAULT_SHARDS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("LUMEN_TEST_SHARDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// The shard count actually usable for a mesh: row-band tiling cannot
+/// split finer than one row per shard.
+pub fn effective_shards(noc: &NocConfig, requested: usize) -> usize {
+    requested.clamp(1, noc.height as usize)
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+/// One shard's contiguous slice of the system: a band of mesh rows and
+/// everything attached to it. Link ranges are contiguous because the
+/// network builds inter-router links in router order and node links in
+/// node order.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardSpec {
+    pub id: usize,
+    pub routers: Range<usize>,
+    pub nodes: Range<usize>,
+    pub ir_links: Range<usize>,
+    pub node_links: Range<usize>,
+    /// Total inter-router links in the whole mesh (node links start here).
+    pub ir_total: usize,
+}
+
+impl ShardSpec {
+    /// Whether this shard owns link `l` (its from-endpoint is in-band).
+    pub fn owns_link(&self, l: usize) -> bool {
+        self.ir_links.contains(&l) || self.node_links.contains(&l)
+    }
+}
+
+/// Splits the mesh into `requested` (clamped) row bands.
+pub(crate) fn partition(noc: &NocConfig, requested: usize) -> Vec<ShardSpec> {
+    let h = noc.height as usize;
+    let w = noc.width as usize;
+    let npr = noc.nodes_per_rack as usize;
+    let s_count = effective_shards(noc, requested);
+    // Inter-router links are laid out per router in Direction::ALL order;
+    // a prefix sum over router out-degrees maps router ranges to link
+    // ranges exactly as `Network::with_routing` assigned them.
+    let racks = noc.rack_count();
+    let mut prefix = vec![0usize; racks + 1];
+    for r in 0..racks {
+        let coord = noc.coord_of(RouterId(r as u32));
+        let degree = Direction::ALL
+            .iter()
+            .filter(|&&d| coord.neighbor(d, noc.width, noc.height).is_some())
+            .count();
+        prefix[r + 1] = prefix[r] + degree;
+    }
+    let ir_total = prefix[racks];
+    (0..s_count)
+        .map(|s| {
+            let routers = (s * h / s_count) * w..((s + 1) * h / s_count) * w;
+            let nodes = routers.start * npr..routers.end * npr;
+            let node_links = ir_total + 2 * nodes.start..ir_total + 2 * nodes.end;
+            ShardSpec {
+                id: s,
+                ir_links: prefix[routers.start]..prefix[routers.end],
+                routers,
+                nodes,
+                node_links,
+                ir_total,
+            }
+        })
+        .collect()
+}
+
+/// Per-link shard maps: `owner[l]` is the shard holding `l`'s
+/// from-endpoint (launches, credits, policy); `to_owner[l]` the shard
+/// holding its to-endpoint (flit arrivals, downstream occupancy). They
+/// differ exactly on boundary inter-router links.
+fn ownership(noc: &NocConfig, specs: &[ShardSpec]) -> (Vec<u8>, Vec<u8>) {
+    let racks = noc.rack_count();
+    let mut router_shard = vec![0u8; racks];
+    for spec in specs {
+        for r in spec.routers.clone() {
+            router_shard[r] = spec.id as u8;
+        }
+    }
+    let mut owner = Vec::new();
+    let mut to_owner = Vec::new();
+    for r in 0..racks {
+        let coord = noc.coord_of(RouterId(r as u32));
+        for dir in Direction::ALL {
+            let Some(nbr) = coord.neighbor(dir, noc.width, noc.height) else {
+                continue;
+            };
+            owner.push(router_shard[r]);
+            to_owner.push(router_shard[noc.router_at(nbr).index()]);
+        }
+    }
+    for n in 0..noc.node_count() {
+        let s = router_shard[noc.router_of_node(lumen_noc::ids::NodeId(n as u32)).index()];
+        // Injection, then ejection: both endpoints live on the node's shard.
+        owner.push(s);
+        to_owner.push(s);
+        owner.push(s);
+        to_owner.push(s);
+    }
+    (owner, to_owner)
+}
+
+// ---------------------------------------------------------------------
+// Per-shard runtime context (lives inside PowerAwareSim)
+// ---------------------------------------------------------------------
+
+/// The shard-local state a replica's event handlers need: ownership
+/// maps, per-destination outboxes, delivery tagging, and the deferred
+/// DVS-window flag. Boxed into [`PowerAwareSim`] so the sequential
+/// engine pays one pointer of overhead.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    pub spec: ShardSpec,
+    pub owner: Arc<Vec<u8>>,
+    pub to_owner: Arc<Vec<u8>>,
+    /// Events bound for other shards, flushed to mailboxes each window.
+    pub outbox: Vec<Vec<(Picos, SimEvent)>>,
+    /// Arrival counts on links this shard does not own (the owner's
+    /// `flits_arrived` counter is reconciled at merge time).
+    pub foreign_arrivals: Vec<u64>,
+    /// In-flight delivery keys per ejection link (FIFO, matching the
+    /// link's in-order delivery).
+    pub ej_keys: Vec<VecDeque<u64>>,
+    /// Ejections since the last drain: `(arrival, key, created_at)`.
+    pub deliveries: Vec<(Picos, u64, Picos)>,
+    /// Ejection launches so far this tick (the key position field).
+    pub launch_pos: u64,
+    /// A DVS window closed this tick and awaits the barrier exchange.
+    pub policy_pending: bool,
+}
+
+impl ShardCtx {
+    fn new(spec: ShardSpec, owner: Arc<Vec<u8>>, to_owner: Arc<Vec<u8>>, shards: usize) -> Self {
+        let links = owner.len();
+        ShardCtx {
+            spec,
+            owner,
+            to_owner,
+            outbox: vec![Vec::new(); shards],
+            foreign_arrivals: vec![0; links],
+            ej_keys: vec![VecDeque::new(); links],
+            deliveries: Vec::new(),
+            launch_pos: 0,
+            policy_pending: false,
+        }
+    }
+
+    /// Whether this shard owns link `l`.
+    pub fn owns_link(&self, l: usize) -> bool {
+        self.spec.owns_link(l)
+    }
+
+    /// Whether `l` is an ejection link this shard owns. Node links
+    /// alternate injection (even offset) / ejection (odd offset).
+    pub fn owns_ej_link(&self, l: usize) -> bool {
+        self.spec.node_links.contains(&l) && (l - self.spec.ir_total) % 2 == 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traffic pre-generation
+// ---------------------------------------------------------------------
+
+/// Replays a pre-generated per-shard packet feed. The coordinator runs
+/// the real [`TrafficSource`] once up front (same calls, same RNG draws
+/// as the sequential engine) and splits the packets by source node, so
+/// every shard injects exactly the packets the sequential run would.
+struct ShardFeedSource {
+    feed: Vec<(u64, Packet)>,
+    cursor: usize,
+    generated: u64,
+}
+
+impl TrafficSource for ShardFeedSource {
+    fn packets_for_cycle(&mut self, cycle: u64, _now: Picos, out: &mut Vec<Packet>) {
+        while self.cursor < self.feed.len() && self.feed[self.cursor].0 == cycle {
+            out.push(self.feed[self.cursor].1);
+            self.cursor += 1;
+            self.generated += 1;
+        }
+    }
+
+    fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+/// Runs `source` over every tick of the run, splitting packets into
+/// per-shard feeds and recording per-cycle totals for the coordinator's
+/// injection-rate series.
+fn pregenerate(
+    source: &mut dyn TrafficSource,
+    noc: &NocConfig,
+    specs: &[ShardSpec],
+    total_cycles: u64,
+    cycle: Picos,
+) -> (Vec<Vec<(u64, Packet)>>, Vec<u32>) {
+    let mut node_shard = vec![0u8; noc.node_count()];
+    for spec in specs {
+        for n in spec.nodes.clone() {
+            node_shard[n] = spec.id as u8;
+        }
+    }
+    let mut feeds: Vec<Vec<(u64, Packet)>> = vec![Vec::new(); specs.len()];
+    let mut per_cycle = vec![0u32; total_cycles as usize + 1];
+    let mut buf = Vec::new();
+    for t in 0..=total_cycles {
+        source.packets_for_cycle(t, cycle * t, &mut buf);
+        per_cycle[t as usize] = buf.len() as u32;
+        for pkt in buf.drain(..) {
+            feeds[usize::from(node_shard[pkt.src.index()])].push((t, pkt));
+        }
+    }
+    (feeds, per_cycle)
+}
+
+// ---------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------
+
+/// A sense-reversing hybrid barrier. Windows are microseconds of work,
+/// so on a machine with a core per shard, parking-lot syscalls (std's
+/// `Barrier`) would dominate the runtime — threads spin briefly to keep
+/// the exchange in the hot cache. But when the host is oversubscribed
+/// (fewer cores than shards), a spinning waiter burns the very
+/// timeslice the straggler needs, so after a short spin the waiter
+/// parks on a condvar. On single-core hosts the spin budget is zero:
+/// spinning there can never succeed.
+struct SpinBarrier {
+    n: usize,
+    spin_limit: u32,
+    count: AtomicUsize,
+    generation: AtomicU64,
+    lock: Mutex<()>,
+    parked: Condvar,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        SpinBarrier {
+            n,
+            spin_limit: if cores > n { 40_000 } else { 0 },
+            count: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            parked: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Reset the count before releasing the cohort so early
+            // re-entrants of the next barrier see a clean slate. The
+            // generation bump happens under the lock so a waiter that
+            // just decided to park cannot miss the wakeup.
+            self.count.store(0, Ordering::Release);
+            let guard = self.lock.lock().unwrap();
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            drop(guard);
+            self.parked.notify_all();
+        } else {
+            for _ in 0..self.spin_limit {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            let mut guard = self.lock.lock().unwrap();
+            while self.generation.load(Ordering::Acquire) == gen {
+                guard = self.parked.wait(guard).unwrap();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator (worker 0's merged-measurement replica)
+// ---------------------------------------------------------------------
+
+/// The sequential engine's measurement state, re-enacted by worker 0
+/// from ordered delivery replays and per-shard energy snapshots. All
+/// floating-point accumulation happens here in the sequential engine's
+/// order, which is what makes the merged statistics bit-identical.
+struct Coordinator {
+    cycle: Picos,
+    cycle_ps: f64,
+    baseline_mw: f64,
+    sample_every: Option<u64>,
+    per_cycle: Vec<u32>,
+    /// Next per-cycle injection count not yet folded into the bucket.
+    inj_ptr: usize,
+    measure_from: Picos,
+    latency: Summary,
+    latency_hist: Histogram,
+    bucket_latency: Summary,
+    bucket_injected: u64,
+    last_sample_time: Picos,
+    last_sample_energy_nj: f64,
+    latency_series: TimeSeries,
+    power_series: TimeSeries,
+    injection_series: TimeSeries,
+}
+
+impl Coordinator {
+    fn new(cycle: Picos, baseline_mw: f64, sample_every: Option<u64>, per_cycle: Vec<u32>) -> Self {
+        Coordinator {
+            cycle,
+            cycle_ps: cycle.as_ps() as f64,
+            baseline_mw,
+            sample_every,
+            per_cycle,
+            inj_ptr: 0,
+            measure_from: Picos::ZERO,
+            latency: Summary::new(),
+            latency_hist: Histogram::new(10.0, 2_000),
+            bucket_latency: Summary::new(),
+            bucket_injected: 0,
+            last_sample_time: Picos::ZERO,
+            last_sample_energy_nj: 0.0,
+            latency_series: TimeSeries::new("latency_cycles"),
+            power_series: TimeSeries::new("normalized_power"),
+            injection_series: TimeSeries::new("injection_rate"),
+        }
+    }
+
+    /// Folds per-cycle injection counts through tick `k` (inclusive)
+    /// into the bucket, honoring the measurement gate exactly as the
+    /// sequential tick handler does.
+    fn advance_injections(&mut self, k: u64) {
+        while self.inj_ptr <= k as usize {
+            if self.cycle * self.inj_ptr as u64 >= self.measure_from {
+                self.bucket_injected += u64::from(self.per_cycle[self.inj_ptr]);
+            }
+            self.inj_ptr += 1;
+        }
+    }
+
+    /// Replays a batch of deliveries in the sequential engine's order.
+    fn replay(&mut self, batch: &mut Vec<(Picos, u64, Picos)>) {
+        batch.sort_unstable_by_key(|&(at, key, _)| (at, key));
+        for &(at, _, created_at) in batch.iter() {
+            if created_at < self.measure_from {
+                continue;
+            }
+            let cycles = (at - created_at).as_ps() as f64 / self.cycle_ps;
+            self.latency.record(cycles);
+            self.latency_hist.record(cycles);
+            self.bucket_latency.record(cycles);
+        }
+        batch.clear();
+    }
+
+    /// The sequential `take_sample`, fed by per-shard energy snapshots
+    /// summed in global link order (all inter-router slices first, then
+    /// all node slices — exactly link-index order).
+    fn take_sample(&mut self, now: Picos, k: u64, energy_nj: f64) {
+        let every = self.sample_every.expect("sampling disabled");
+        let dt_ps = (now - self.last_sample_time).as_ps() as f64;
+        if dt_ps > 0.0 {
+            let power_mw = (energy_nj - self.last_sample_energy_nj) / dt_ps * 1e6;
+            self.power_series.record(now, power_mw / self.baseline_mw);
+            self.last_sample_energy_nj = energy_nj;
+            self.last_sample_time = now;
+        }
+        if !self.bucket_latency.is_empty() {
+            self.latency_series.record(now, self.bucket_latency.mean());
+        }
+        self.advance_injections(k);
+        self.injection_series
+            .record(now, self.bucket_injected as f64 / every as f64);
+        self.bucket_latency = Summary::new();
+        self.bucket_injected = 0;
+    }
+
+    /// The sequential `begin_measurement`, coordinator half.
+    fn begin_measurement(&mut self, now: Picos, k: u64) {
+        // Injections through the warmup tick were counted under the old
+        // gate and are wiped with the bucket, like the sequential engine.
+        self.advance_injections(k);
+        self.measure_from = now;
+        self.latency = Summary::new();
+        self.latency_hist = Histogram::new(10.0, 2_000);
+        self.bucket_latency = Summary::new();
+        self.bucket_injected = 0;
+        self.last_sample_time = now;
+        self.last_sample_energy_nj = 0.0;
+    }
+
+    /// Installs the coordinator's measurement state into the merged sim.
+    fn install(mut self, sim: &mut PowerAwareSim, total: u64) {
+        self.advance_injections(total);
+        sim.measure_from = self.measure_from;
+        sim.latency = self.latency;
+        sim.latency_hist = self.latency_hist;
+        sim.bucket_latency = self.bucket_latency;
+        sim.bucket_injected = self.bucket_injected;
+        sim.last_sample_time = self.last_sample_time;
+        sim.last_sample_energy_nj = self.last_sample_energy_nj;
+        sim.latency_series = self.latency_series;
+        sim.power_series = self.power_series;
+        sim.injection_series = self.injection_series;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The parallel run
+// ---------------------------------------------------------------------
+
+/// The outcome of a [`run_sharded`] call.
+pub struct ShardedOutcome {
+    /// The merged system, equivalent to the sequential engine's final
+    /// model: every accessor (`latency_summary`, `energy_nj`, series,
+    /// counters, audit) reads identically.
+    pub sim: PowerAwareSim,
+    /// The simulation end time (`cycle × (warmup + measure)`).
+    pub end: Picos,
+    /// Events processed, summed over shard engines. Each flit, credit,
+    /// policy, and fault event is processed exactly once; core ticks and
+    /// laser decisions are replicated per shard.
+    pub events: u64,
+}
+
+/// Runs the system on `shards` worker threads (clamped to the mesh
+/// height; 1 runs the sequential engine verbatim), producing results
+/// bit-identical to [`PowerAwareSim::build_engine`] driven sequentially
+/// over the same warmup/measure schedule.
+pub fn run_sharded(
+    config: SystemConfig,
+    source: Box<dyn TrafficSource + Send>,
+    sample_every: Option<u64>,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    shards: usize,
+) -> ShardedOutcome {
+    // Validate on the caller's thread so a bad configuration panics
+    // here (where Executor's catch_unwind sees the real message), not
+    // inside every worker at once.
+    config.validate();
+    let cycle = config.noc.cycle();
+    let total = warmup_cycles + measure_cycles;
+    let end = cycle * total;
+    let specs = partition(&config.noc, shards);
+    if specs.len() <= 1 {
+        // Sequential reference path, identical to Experiment::run.
+        let mut engine = PowerAwareSim::build_engine(config, source, sample_every);
+        engine.run_until(cycle * warmup_cycles);
+        let now = engine.now();
+        engine.model_mut().begin_measurement(now);
+        engine.run_until(end);
+        return ShardedOutcome {
+            events: engine.processed(),
+            end,
+            sim: engine.into_model(),
+        };
+    }
+
+    let s_count = specs.len();
+    let (owner, to_owner) = ownership(&config.noc, &specs);
+    let link_count = owner.len();
+    let owner = Arc::new(owner);
+    let to_owner = Arc::new(to_owner);
+
+    let mut source = source;
+    let (feeds, per_cycle) = pregenerate(source.as_mut(), &config.noc, &specs, total, cycle);
+
+    let has_dvs = config.power_aware && matches!(config.policy.mode, PolicyMode::DvsLadder);
+    let tw = config.policy.timing.tw_cycles;
+    let baseline_mw = config.link_model().max_power().as_mw() * link_count as f64;
+
+    // Boundary-occupancy exchange lists: publisher (to-endpoint owner) →
+    // consumer (from-endpoint owner), in link order.
+    let mut occ_links: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); s_count]; s_count];
+    for l in 0..link_count {
+        let (a, b) = (usize::from(owner[l]), usize::from(to_owner[l]));
+        if a != b {
+            occ_links[b][a].push(l);
+        }
+    }
+
+    // Shared exchange slots. Each is written in one phase and read in the
+    // next, with a barrier in between; the mutexes are uncontended.
+    let mailboxes: Vec<Vec<Mutex<Vec<(Picos, SimEvent)>>>> = (0..s_count)
+        .map(|_| (0..s_count).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let occ_vals: Vec<Vec<Mutex<Vec<u64>>>> = (0..s_count)
+        .map(|_| (0..s_count).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let energy_slots: Vec<Mutex<Vec<f64>>> = (0..s_count).map(|_| Mutex::new(Vec::new())).collect();
+    let delivery_slots: Vec<Mutex<Vec<(Picos, u64, Picos)>>> =
+        (0..s_count).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = SpinBarrier::new(s_count);
+
+    let ir_lens: Vec<usize> = specs.iter().map(|sp| sp.ir_links.len()).collect();
+
+    let mut results: Vec<(PowerAwareSim, u64, Option<Coordinator>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(s_count);
+        for (s, feed) in feeds.into_iter().enumerate() {
+            let spec = specs[s].clone();
+            let cfg = config.clone();
+            let owner = Arc::clone(&owner);
+            let to_owner = Arc::clone(&to_owner);
+            let coordinator = (s == 0)
+                .then(|| Coordinator::new(cycle, baseline_mw, sample_every, per_cycle.clone()));
+            let barrier = &barrier;
+            let mailboxes = &mailboxes;
+            let occ_links = &occ_links;
+            let occ_vals = &occ_vals;
+            let energy_slots = &energy_slots;
+            let delivery_slots = &delivery_slots;
+            let ir_lens = &ir_lens;
+            handles.push(scope.spawn(move || {
+                let ctx = ShardCtx::new(spec, owner, to_owner, s_count);
+                let feed_source = Box::new(ShardFeedSource {
+                    feed,
+                    cursor: 0,
+                    generated: 0,
+                });
+                let mut engine =
+                    PowerAwareSim::build_engine_shard(cfg, feed_source, sample_every, ctx);
+                let mut coordinator = coordinator;
+                for k in 0..=total {
+                    let t_k = cycle * k;
+                    engine.run_until(t_k);
+
+                    // Phase A: publish this window's cross-shard
+                    // traffic and (on DVS windows) boundary occupancy.
+                    {
+                        let sim = engine.model_mut();
+                        let ctx = sim.shard.as_deref_mut().expect("shard ctx");
+                        for dest in 0..s_count {
+                            if dest != s && !ctx.outbox[dest].is_empty() {
+                                let mut slot = mailboxes[s][dest].lock().unwrap();
+                                slot.append(&mut ctx.outbox[dest]);
+                            }
+                        }
+                    }
+                    let policy_due = has_dvs && (k + 1) % tw == 0;
+                    if policy_due {
+                        let sim = engine.model_mut();
+                        for cons in 0..s_count {
+                            let links = &occ_links[s][cons];
+                            if links.is_empty() {
+                                continue;
+                            }
+                            let mut vals = occ_vals[s][cons].lock().unwrap();
+                            vals.clear();
+                            for &l in links {
+                                vals.push(sim.net.take_input_occupancy(LinkId(l as u32)));
+                            }
+                        }
+                    }
+                    let sample_due = sample_every.is_some_and(|e| (k + 1) % e == 0);
+                    let publish_due = sample_due || k == warmup_cycles || k == total;
+
+                    barrier.wait();
+
+                    // Phase B: drain mailboxes into the engine inbox,
+                    // finish the deferred DVS window, publish
+                    // measurement snapshots, and arm the next tick.
+                    for src in 0..s_count {
+                        if src != s {
+                            let mut slot = mailboxes[src][s].lock().unwrap();
+                            for (at, ev) in slot.drain(..) {
+                                engine.push_external(at, ev);
+                            }
+                        }
+                    }
+                    if policy_due {
+                        {
+                            let sim = engine.model_mut();
+                            for publisher in 0..s_count {
+                                let links = &occ_links[publisher][s];
+                                if links.is_empty() {
+                                    continue;
+                                }
+                                let vals = occ_vals[publisher][s].lock().unwrap();
+                                for (i, &l) in links.iter().enumerate() {
+                                    sim.net.set_input_occupancy(LinkId(l as u32), vals[i]);
+                                }
+                            }
+                        }
+                        let (sim, queue) = engine.model_and_queue_mut();
+                        if sim.policy_pending() {
+                            sim.run_deferred_policy(t_k, queue);
+                        }
+                    }
+                    if publish_due {
+                        let sim = engine.model_mut();
+                        {
+                            let mut slot = energy_slots[s].lock().unwrap();
+                            slot.clear();
+                            let (ir, nl) = {
+                                let ctx = sim.shard.as_deref().expect("shard ctx");
+                                (ctx.spec.ir_links.clone(), ctx.spec.node_links.clone())
+                            };
+                            for l in ir.chain(nl) {
+                                slot.push(sim.accounts[l].energy_nj_at(t_k));
+                            }
+                        }
+                        let ctx = sim.shard.as_deref_mut().expect("shard ctx");
+                        let mut slot = delivery_slots[s].lock().unwrap();
+                        slot.append(&mut ctx.deliveries);
+                    }
+                    if k < total {
+                        engine
+                            .queue_mut()
+                            .schedule(cycle * (k + 1), SimEvent::CoreTick);
+                    }
+
+                    if policy_due || publish_due {
+                        barrier.wait();
+                    }
+
+                    // Phase C: worker 0 re-enacts the sequential
+                    // measurement bookkeeping from the snapshots.
+                    if publish_due {
+                        if let Some(coord) = coordinator.as_mut() {
+                            let mut batch = Vec::new();
+                            for slot in delivery_slots {
+                                batch.append(&mut slot.lock().unwrap());
+                            }
+                            coord.replay(&mut batch);
+                            if sample_due {
+                                let slots: Vec<_> =
+                                    energy_slots.iter().map(|m| m.lock().unwrap()).collect();
+                                let mut energy = 0.0f64;
+                                for (sh, slot) in slots.iter().enumerate() {
+                                    for e in &slot[..ir_lens[sh]] {
+                                        energy += *e;
+                                    }
+                                }
+                                for (sh, slot) in slots.iter().enumerate() {
+                                    for e in &slot[ir_lens[sh]..] {
+                                        energy += *e;
+                                    }
+                                }
+                                coord.take_sample(t_k, k, energy);
+                            }
+                        }
+                    }
+                    if k == warmup_cycles {
+                        engine.model_mut().begin_measurement(t_k);
+                        if let Some(coord) = coordinator.as_mut() {
+                            coord.begin_measurement(t_k, k);
+                        }
+                    }
+                }
+                let events = engine.processed();
+                (engine.into_model(), events, coordinator)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise with the worker's original payload so a
+                // catch_unwind upstream sees the real panic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Merge: shard 0's replica adopts every other shard's owned region,
+    // then reconciles cross-shard arrival counters and installs the
+    // coordinator's measurement state.
+    let (mut base, mut events, coordinator) = {
+        let (sim, ev, coord) = results.remove(0);
+        (sim, ev, coord.expect("worker 0 owns the coordinator"))
+    };
+    let base_ctx = base.take_shard().expect("shard ctx");
+    let mut foreign = base_ctx.foreign_arrivals;
+    for (i, (mut donor, ev, _)) in results.into_iter().enumerate() {
+        let donor_ctx = donor.take_shard().expect("shard ctx");
+        for (l, n) in donor_ctx.foreign_arrivals.iter().enumerate() {
+            foreign[l] += n;
+        }
+        base.merge_shard(&donor, &specs[i + 1]);
+        events += ev;
+    }
+    for (l, n) in foreign.into_iter().enumerate() {
+        if n > 0 {
+            base.net.absorb_link_arrivals(LinkId(l as u32), n);
+        }
+    }
+    coordinator.install(&mut base, total);
+    base.source = source;
+    ShardedOutcome {
+        sim: base,
+        end,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_desim::Rng;
+    use lumen_traffic::{PacketSize, Pattern, RateProfile, SyntheticSource};
+
+    fn small_config(power_aware: bool) -> SystemConfig {
+        let mut config = SystemConfig::paper_default();
+        config.noc = NocConfig::small_for_tests();
+        config.power_aware = power_aware;
+        config.policy.timing.tw_cycles = 100;
+        config.seed = 7;
+        config
+    }
+
+    fn uniform(config: &SystemConfig, rate: f64) -> Box<dyn TrafficSource + Send> {
+        Box::new(SyntheticSource::new(
+            &config.noc,
+            Pattern::Uniform,
+            RateProfile::Constant(rate),
+            PacketSize::Fixed(3),
+            Rng::seed_from(config.seed),
+        ))
+    }
+
+    #[test]
+    fn partition_tiles_the_mesh_exactly() {
+        let noc = NocConfig::paper_default();
+        for shards in [1, 2, 3, 4, 8, 64] {
+            let specs = partition(&noc, shards);
+            assert_eq!(specs.len(), effective_shards(&noc, shards));
+            // Router, node, and link ranges tile without gaps or overlap.
+            let net = lumen_noc::Network::new(&noc);
+            let mut next_router = 0;
+            let mut next_node = 0;
+            let mut next_ir = 0;
+            for (i, spec) in specs.iter().enumerate() {
+                assert_eq!(spec.id, i);
+                assert_eq!(spec.routers.start, next_router);
+                assert_eq!(spec.nodes.start, next_node);
+                assert_eq!(spec.ir_links.start, next_ir);
+                assert_eq!(spec.node_links.start, spec.ir_total + 2 * spec.nodes.start);
+                assert_eq!(spec.node_links.end, spec.ir_total + 2 * spec.nodes.end);
+                next_router = spec.routers.end;
+                next_node = spec.nodes.end;
+                next_ir = spec.ir_links.end;
+            }
+            assert_eq!(next_router, noc.rack_count());
+            assert_eq!(next_node, noc.node_count());
+            assert_eq!(next_ir, specs[0].ir_total);
+            assert_eq!(
+                specs.last().unwrap().node_links.end,
+                net.link_count(),
+                "link ranges must cover the real network"
+            );
+        }
+    }
+
+    #[test]
+    fn ownership_matches_link_endpoints() {
+        let noc = NocConfig::paper_default();
+        let specs = partition(&noc, 4);
+        let (owner, to_owner) = ownership(&noc, &specs);
+        let net = lumen_noc::Network::new(&noc);
+        assert_eq!(owner.len(), net.link_count());
+        let mut boundary = 0;
+        for l in 0..net.link_count() {
+            let spec = &specs[usize::from(owner[l])];
+            assert!(spec.owns_link(l), "owner map disagrees with spec ranges");
+            if owner[l] != to_owner[l] {
+                boundary += 1;
+                // Only inter-router links cross bands.
+                assert!(l < specs[0].ir_total);
+            }
+        }
+        // An 8-wide mesh with 4 row bands has 3 seams × 8 columns × 2
+        // directions of boundary links.
+        assert_eq!(boundary, 48);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 1..=100 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        assert_eq!(counter.load(Ordering::Relaxed), round * 4);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Bit-exact equivalence of the parallel backend on a small system:
+    /// deliveries, latency statistics, energy, transitions, and audit.
+    fn assert_matches_sequential(config: SystemConfig, rate: f64, sample: Option<u64>) {
+        let (warmup, measure) = (500, 3_000);
+        let seq = run_sharded(
+            config.clone(),
+            uniform(&config, rate),
+            sample,
+            warmup,
+            measure,
+            1,
+        );
+        let par = run_sharded(
+            config.clone(),
+            uniform(&config, rate),
+            sample,
+            warmup,
+            measure,
+            2,
+        );
+        let end = seq.end;
+        assert_eq!(par.end, end);
+        let (s, p) = (&seq.sim, &par.sim);
+        assert_eq!(p.packets_injected_measured(), s.packets_injected_measured());
+        assert_eq!(p.latency_summary().count(), s.latency_summary().count());
+        assert_eq!(
+            p.latency_summary().mean().to_bits(),
+            s.latency_summary().mean().to_bits(),
+            "latency means diverged: {} vs {}",
+            p.latency_summary().mean(),
+            s.latency_summary().mean()
+        );
+        assert_eq!(
+            p.energy_nj(end).to_bits(),
+            s.energy_nj(end).to_bits(),
+            "energy diverged: {} vs {}",
+            p.energy_nj(end),
+            s.energy_nj(end)
+        );
+        assert_eq!(p.transitions(), s.transitions());
+        assert_eq!(p.packets_dropped_measured(), s.packets_dropped_measured());
+        if sample.is_some() {
+            let (sl, sp, si) = s.series();
+            let (pl, pp, pi) = p.series();
+            assert_eq!(pl, sl, "latency series diverged");
+            assert_eq!(pp, sp, "power series diverged");
+            assert_eq!(pi, si, "injection series diverged");
+        }
+        lumen_noc::audit(p.network()).assert_ok();
+    }
+
+    #[test]
+    fn sharded_matches_sequential_non_power_aware() {
+        assert_matches_sequential(small_config(false), 0.2, None);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_dvs() {
+        assert_matches_sequential(small_config(true), 0.15, Some(500));
+    }
+
+    #[test]
+    fn sharded_matches_sequential_onoff() {
+        let mut config = small_config(true);
+        config.policy.mode = PolicyMode::OnOff(lumen_policy::OnOffConfig::reference_default());
+        assert_matches_sequential(config, 0.05, None);
+    }
+}

@@ -102,47 +102,92 @@ pub enum SimEvent {
     LaserDecision,
 }
 
+/// Memoized link power: the policy ladder is a small discrete set, and
+/// every operating point a transition can visit — including the voltage-
+/// first / frequency-first interim points — is a cross-product of ladder
+/// rates and ladder rails. Built once at sim start so the per-transition
+/// hot path replaces the full Eqs. 1–9 component walk with a table scan;
+/// points constructed from the same ladder values compare bitwise-equal,
+/// so hits are exact and anything else falls back to the analytical model.
+#[derive(Debug, Clone)]
+pub(crate) struct PowerLut {
+    entries: Vec<(OperatingPoint, MilliWatts)>,
+}
+
+impl PowerLut {
+    /// Builds the table over every `(rate, vdd)` ladder cross-product.
+    pub(crate) fn build(model: &LinkPowerModel, ladder: &lumen_policy::BitRateLadder) -> Self {
+        let n = ladder.level_count();
+        let mut entries = Vec::with_capacity(n * n);
+        for vdd_level in 0..n {
+            for rate_level in 0..n {
+                let point =
+                    OperatingPoint::new(ladder.rate_at(rate_level), ladder.vdd_at(vdd_level));
+                if !entries.iter().any(|(p, _)| *p == point) {
+                    entries.push((point, model.power(point)));
+                }
+            }
+        }
+        PowerLut { entries }
+    }
+
+    /// Looks up `point`, falling back to the analytical model on a miss.
+    pub(crate) fn power(&self, model: &LinkPowerModel, point: OperatingPoint) -> MilliWatts {
+        for (p, w) in &self.entries {
+            if *p == point {
+                return *w;
+            }
+        }
+        model.power(point)
+    }
+}
+
 /// The complete simulated system.
 pub struct PowerAwareSim {
-    config: SystemConfig,
-    net: Network,
-    model: LinkPowerModel,
-    controllers: Vec<LinkPolicyController>,
-    onoff: Vec<OnOffController>,
-    sleeping: Vec<LinkId>,
-    lasers: Vec<LaserSourceController>,
-    accounts: Vec<EnergyAccount>,
-    current_point: Vec<OperatingPoint>,
-    source: Box<dyn TrafficSource>,
-    cycle: Picos,
-    cycle_index: u64,
-    tw_cycles: u64,
+    pub(crate) config: SystemConfig,
+    pub(crate) net: Network,
+    pub(crate) model: LinkPowerModel,
+    pub(crate) lut: PowerLut,
+    pub(crate) controllers: Vec<LinkPolicyController>,
+    pub(crate) onoff: Vec<OnOffController>,
+    pub(crate) sleeping: Vec<LinkId>,
+    pub(crate) lasers: Vec<LaserSourceController>,
+    pub(crate) accounts: Vec<EnergyAccount>,
+    pub(crate) current_point: Vec<OperatingPoint>,
+    pub(crate) source: Box<dyn TrafficSource + Send>,
+    pub(crate) cycle: Picos,
+    pub(crate) cycle_index: u64,
+    pub(crate) tw_cycles: u64,
     // Fault injection (None when disabled: no events, no RNG draws).
-    faults: Option<FaultPlan>,
+    pub(crate) faults: Option<FaultPlan>,
     // Per-link transition epoch: bumped when a fault pins a link, so
     // transition events planned before the pin are discarded on arrival.
-    link_epoch: Vec<u64>,
+    pub(crate) link_epoch: Vec<u64>,
     // Measurement state.
-    measure_from: Picos,
-    latency: Summary,
-    latency_hist: Histogram,
-    packets_injected_measured: u64,
-    packets_dropped_at_measure: u64,
-    flits_dropped_at_measure: u64,
-    flits_corrupted_at_measure: u64,
-    faults_at_measure: u64,
+    pub(crate) measure_from: Picos,
+    pub(crate) latency: Summary,
+    pub(crate) latency_hist: Histogram,
+    pub(crate) packets_injected_measured: u64,
+    pub(crate) packets_dropped_at_measure: u64,
+    pub(crate) flits_dropped_at_measure: u64,
+    pub(crate) flits_corrupted_at_measure: u64,
+    pub(crate) faults_at_measure: u64,
     // Optional time-series sampling.
-    sample_every: Option<u64>,
-    bucket_latency: Summary,
-    bucket_injected: u64,
-    last_sample_time: Picos,
-    last_sample_energy_nj: f64,
-    latency_series: TimeSeries,
-    power_series: TimeSeries,
-    injection_series: TimeSeries,
+    pub(crate) sample_every: Option<u64>,
+    pub(crate) bucket_latency: Summary,
+    pub(crate) bucket_injected: u64,
+    pub(crate) last_sample_time: Picos,
+    pub(crate) last_sample_energy_nj: f64,
+    pub(crate) latency_series: TimeSeries,
+    pub(crate) power_series: TimeSeries,
+    pub(crate) injection_series: TimeSeries,
     // Scratch buffers.
-    effects: Vec<Effect>,
-    packets: Vec<Packet>,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) packets: Vec<Packet>,
+    // Parallel-shard context: `Some` only on a shard replica driven by
+    // `crate::shard::run_sharded`. `None` is the sequential engine, whose
+    // behavior this PR leaves bit-for-bit untouched.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
 }
 
 impl PowerAwareSim {
@@ -151,10 +196,22 @@ impl PowerAwareSim {
     /// already scheduled.
     pub fn build_engine(
         config: SystemConfig,
-        source: Box<dyn TrafficSource>,
+        source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
     ) -> Engine<PowerAwareSim> {
-        Self::build_engine_inner(config, source, sample_every, false)
+        Self::build_engine_inner(config, source, sample_every, false, None)
+    }
+
+    /// Builds one shard replica of the system for the conservative-parallel
+    /// backend: the replica holds the full network image but only ticks,
+    /// polices, and fault-schedules the region `ctx` owns.
+    pub(crate) fn build_engine_shard(
+        config: SystemConfig,
+        source: Box<dyn TrafficSource + Send>,
+        sample_every: Option<u64>,
+        ctx: crate::shard::ShardCtx,
+    ) -> Engine<PowerAwareSim> {
+        Self::build_engine_inner(config, source, sample_every, false, Some(Box::new(ctx)))
     }
 
     /// [`PowerAwareSim::build_engine`], but on the reference binary-heap
@@ -164,17 +221,18 @@ impl PowerAwareSim {
     /// baseline and differential tests can pin the equivalence.
     pub fn build_engine_reference_queue(
         config: SystemConfig,
-        source: Box<dyn TrafficSource>,
+        source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
     ) -> Engine<PowerAwareSim> {
-        Self::build_engine_inner(config, source, sample_every, true)
+        Self::build_engine_inner(config, source, sample_every, true, None)
     }
 
     fn build_engine_inner(
         config: SystemConfig,
-        source: Box<dyn TrafficSource>,
+        source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
         reference_queue: bool,
+        shard: Option<Box<crate::shard::ShardCtx>>,
     ) -> Engine<PowerAwareSim> {
         config.validate();
         let net = Network::new(&config.noc);
@@ -210,7 +268,8 @@ impl PowerAwareSim {
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
-        let initial_power = model.power(initial_point);
+        let lut = PowerLut::build(&model, &config.policy.ladder);
+        let initial_power = lut.power(&model, initial_point);
         let accounts = (0..link_count)
             .map(|_| EnergyAccount::new(Picos::ZERO, initial_power))
             .collect();
@@ -235,6 +294,14 @@ impl PowerAwareSim {
             let dropouts = config.faults.dropouts_enabled()
                 && config.transmitter == lumen_opto::link::TransmitterKind::MqwModulator;
             for l in 0..link_count {
+                // A shard replica schedules (and later processes) fault
+                // events only for the links it owns; per-link RNG streams
+                // make the skipped draws invisible to the owned ones.
+                if let Some(ctx) = shard.as_deref() {
+                    if !ctx.owns_link(l) {
+                        continue;
+                    }
+                }
                 if config.faults.outages_enabled() {
                     let at = plan.next_begin(Picos::ZERO, l, FaultKind::Outage);
                     fault_onsets.push((
@@ -264,6 +331,7 @@ impl PowerAwareSim {
         let sim = PowerAwareSim {
             net,
             model,
+            lut,
             controllers,
             onoff,
             sleeping: Vec::new(),
@@ -294,6 +362,7 @@ impl PowerAwareSim {
             injection_series: TimeSeries::new("injection_rate"),
             effects: Vec::new(),
             packets: Vec::new(),
+            shard,
             config,
         };
         // Calendar sizing: each link can have a flit and a credit in
@@ -356,7 +425,7 @@ impl PowerAwareSim {
         self.flits_corrupted_at_measure = self.net.flits_corrupted();
         self.faults_at_measure = self.faults.as_ref().map_or(0, FaultPlan::faults_injected);
         for (l, acct) in self.accounts.iter_mut().enumerate() {
-            *acct = EnergyAccount::new(now, self.model.power(self.current_point[l]));
+            *acct = EnergyAccount::new(now, self.lut.power(&self.model, self.current_point[l]));
         }
         self.bucket_latency = Summary::new();
         self.bucket_injected = 0;
@@ -490,6 +559,56 @@ impl PowerAwareSim {
         // 2. One cycle of every source node and router. Drain effects by
         // index (Effect is Copy) to keep the buffer's capacity across
         // cycles rather than reallocating it every tick.
+        if self.shard.is_some() {
+            self.tick_and_drain_sharded(now, queue);
+        } else {
+            self.tick_and_drain(now, queue);
+        }
+
+        // 3. Power management: wake sleeping links the moment demand
+        // appears (on/off mode), then run the window policies.
+        self.cycle_index += 1;
+        if !self.sleeping.is_empty() {
+            self.wake_demanded_links(now);
+        }
+        if self.cycle_index % self.tw_cycles == 0 {
+            if !self.controllers.is_empty() {
+                if let Some(ctx) = self.shard.as_deref_mut() {
+                    // DVS windows need cross-shard buffer occupancy; the
+                    // runtime injects it at the barrier and then calls
+                    // `run_deferred_policy` — still at this tick's time,
+                    // still before the next CoreTick, like the sequential
+                    // engine.
+                    ctx.policy_pending = true;
+                } else {
+                    self.run_policy_windows(now, queue);
+                }
+            } else if !self.onoff.is_empty() {
+                if let Some(ctx) = self.shard.as_deref() {
+                    let (ir, nl) = (ctx.spec.ir_links.clone(), ctx.spec.node_links.clone());
+                    self.run_onoff_windows_range(now, ir.chain(nl));
+                } else {
+                    self.run_onoff_windows(now);
+                }
+            }
+        }
+
+        // 4. Time-series sampling (sharded runs sample at the coordinator,
+        // which owns the merged measurement state).
+        if self.shard.is_none() {
+            if let Some(every) = self.sample_every {
+                if self.cycle_index % every == 0 {
+                    self.take_sample(now, every);
+                }
+            }
+            queue.schedule(now + self.cycle, SimEvent::CoreTick);
+        }
+        // Sharded: the runtime schedules the next CoreTick after the
+        // barrier (and after any deferred policy), preserving the
+        // sequential rule that the tick is the last same-time event.
+    }
+
+    fn tick_and_drain(&mut self, now: Picos, queue: &mut EventQueue<SimEvent>) {
         self.net.tick(now, &mut self.effects);
         for i in 0..self.effects.len() {
             let eff = self.effects[i];
@@ -521,29 +640,133 @@ impl PowerAwareSim {
             }
         }
         self.effects.clear();
+    }
 
-        // 3. Power management: wake sleeping links the moment demand
-        // appears (on/off mode), then run the window policies.
-        self.cycle_index += 1;
-        if !self.sleeping.is_empty() {
-            self.wake_demanded_links(now);
+    /// The sharded tick: only the owned region steps, and every effect
+    /// whose handler belongs to another shard is routed to that shard's
+    /// outbox instead of the local calendar. Ejection-link launches are
+    /// tagged with a globally-ordered delivery key so the coordinator can
+    /// replay deliveries in the sequential engine's order.
+    fn tick_and_drain_sharded(&mut self, now: Picos, queue: &mut EventQueue<SimEvent>) {
+        let launch_cycle = self.cycle_index;
+        {
+            let ctx = self.shard.as_deref_mut().expect("sharded drain");
+            ctx.launch_pos = 0;
+            let (routers, nodes) = (ctx.spec.routers.clone(), ctx.spec.nodes.clone());
+            self.net.tick_range(now, &mut self.effects, routers, nodes);
         }
-        if self.cycle_index % self.tw_cycles == 0 {
-            if !self.controllers.is_empty() {
-                self.run_policy_windows(now, queue);
-            } else if !self.onoff.is_empty() {
-                self.run_onoff_windows(now);
+        for i in 0..self.effects.len() {
+            let eff = self.effects[i];
+            match eff {
+                Effect::Flit {
+                    link,
+                    vc,
+                    mut flit,
+                    at,
+                } => {
+                    // Corruption is drawn at launch on the link owner's
+                    // replica — the same per-link RNG stream, in the same
+                    // per-link order, as the sequential engine.
+                    if let Some(plan) = self.faults.as_mut() {
+                        if plan.dropout_active(link.index(), now) {
+                            let p = plan.corruption_probability(self.net.link(link).rate());
+                            if plan.draw_corruption(link.index(), p) {
+                                flit.corrupted = true;
+                            }
+                        }
+                    }
+                    let ctx = self.shard.as_deref_mut().expect("sharded drain");
+                    let dest = usize::from(ctx.to_owner[link.index()]);
+                    if dest == ctx.spec.id {
+                        // Ejection flits launched by owned routers: tag
+                        // with (launch cycle, shard, launch position).
+                        // Ejections only launch from router ticks, which
+                        // global drain order visits in router-index order,
+                        // so this key sorts identically to the sequential
+                        // calendar's insertion sequence.
+                        if ctx.owns_ej_link(link.index()) {
+                            let key = (launch_cycle << crate::shard::KEY_CYCLE_SHIFT)
+                                | ((ctx.spec.id as u64) << crate::shard::KEY_SHARD_SHIFT)
+                                | ctx.launch_pos;
+                            ctx.launch_pos += 1;
+                            ctx.ej_keys[link.index()].push_back(key);
+                        }
+                        queue.schedule(at, SimEvent::FlitArrive { link, vc, flit });
+                    } else {
+                        ctx.outbox[dest].push((at, SimEvent::FlitArrive { link, vc, flit }));
+                    }
+                }
+                Effect::Credit { link, vc, at } => {
+                    let ctx = self.shard.as_deref_mut().expect("sharded drain");
+                    let dest = usize::from(ctx.owner[link.index()]);
+                    if dest == ctx.spec.id {
+                        queue.schedule(at, SimEvent::CreditArrive { link, vc });
+                    } else {
+                        ctx.outbox[dest].push((at, SimEvent::CreditArrive { link, vc }));
+                    }
+                }
+                Effect::Ejected { created_at, at, .. } => {
+                    // Ejections are emitted while draining flit arrivals,
+                    // never by the tick itself; keep the sequential
+                    // behavior if that ever changes.
+                    debug_assert!(false, "tick emitted an ejection");
+                    self.record_delivery(created_at, at);
+                }
             }
         }
+        self.effects.clear();
+    }
 
-        // 4. Time-series sampling.
-        if let Some(every) = self.sample_every {
-            if self.cycle_index % every == 0 {
-                self.take_sample(now, every);
+    /// A flit arrival on a shard replica. The link's own arrival counter
+    /// is only touched when this shard owns the link; ejections are logged
+    /// with their launch key for the coordinator's ordered replay instead
+    /// of being recorded into this replica's (unused) latency state.
+    fn on_flit_arrive_sharded(
+        &mut self,
+        now: Picos,
+        link: LinkId,
+        vc: VcId,
+        flit: Flit,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let ctx = self.shard.as_deref_mut().expect("sharded arrival");
+        let owned = usize::from(ctx.owner[link.index()]) == ctx.spec.id;
+        // Every ejection-link launch pushed a key; arrivals on a FIFO link
+        // pop them in the same order.
+        let key = if ctx.owns_ej_link(link.index()) {
+            ctx.ej_keys[link.index()].pop_front()
+        } else {
+            None
+        };
+        if owned {
+            self.net
+                .flit_arrived(now, link, vc, flit, &mut self.effects);
+        } else {
+            ctx.foreign_arrivals[link.index()] += 1;
+            self.net
+                .flit_arrived_unowned(now, link, vc, flit, &mut self.effects);
+        }
+        for i in 0..self.effects.len() {
+            let eff = self.effects[i];
+            match eff {
+                Effect::Credit { link, vc, at } => {
+                    // Sink credits return on the ejection link and router
+                    // credits on locally-owned feeders: always local.
+                    queue.schedule(at, SimEvent::CreditArrive { link, vc });
+                }
+                Effect::Ejected { created_at, at, .. } => {
+                    ctx.deliveries.push((
+                        at,
+                        key.expect("ejection without launch key"),
+                        created_at,
+                    ));
+                }
+                Effect::Flit { .. } => {
+                    unreachable!("flit arrival cannot launch a flit")
+                }
             }
         }
-
-        queue.schedule(now + self.cycle, SimEvent::CoreTick);
+        self.effects.clear();
     }
 
     fn record_delivery(&mut self, created_at: Picos, at: Picos) {
@@ -557,10 +780,24 @@ impl PowerAwareSim {
     }
 
     fn run_policy_windows(&mut self, now: Picos, queue: &mut EventQueue<SimEvent>) {
+        self.run_policy_windows_range(now, queue, 0..self.net.link_count());
+    }
+
+    /// Runs the DVS window policy for `links` only. The sequential engine
+    /// passes the full range; a shard passes its owned ranges. Per-link
+    /// decisions are independent, and the events different links schedule
+    /// at equal times commute, so a shard-restricted pass reproduces the
+    /// sequential outcome exactly on the links it covers.
+    fn run_policy_windows_range(
+        &mut self,
+        now: Picos,
+        queue: &mut EventQueue<SimEvent>,
+        links: impl Iterator<Item = usize>,
+    ) {
         let tw_duration = self.cycle * self.tw_cycles;
         let buffer_cap =
             (self.config.noc.depth_per_vc() as u64 * self.config.noc.vcs as u64) as f64;
-        for l in 0..self.net.link_count() {
+        for l in links {
             let id = LinkId(l as u32);
             let busy = self.net.link_mut(id).take_window_busy();
             let demand = self.net.link_mut(id).take_window_demand();
@@ -637,8 +874,15 @@ impl PowerAwareSim {
 
     /// On/off mode: evaluate each link's sleep rule at the window boundary.
     fn run_onoff_windows(&mut self, now: Picos) {
+        self.run_onoff_windows_range(now, 0..self.net.link_count());
+    }
+
+    /// [`PowerAwareSim::run_onoff_windows`] restricted to `links` (a
+    /// shard's owned ranges). Sleep rules read only per-link window
+    /// counters, which accumulate on the owner's replica.
+    fn run_onoff_windows_range(&mut self, now: Picos, links: impl Iterator<Item = usize>) {
         let tw_duration = self.cycle * self.tw_cycles;
-        for l in 0..self.net.link_count() {
+        for l in links {
             let id = LinkId(l as u32);
             let busy = self.net.link_mut(id).take_window_busy();
             let demand = self.net.link_mut(id).take_window_demand();
@@ -683,7 +927,7 @@ impl PowerAwareSim {
 
     fn apply_power_point(&mut self, now: Picos, link: LinkId, point: OperatingPoint) {
         self.current_point[link.index()] = point;
-        self.accounts[link.index()].set_power(now, self.model.power(point));
+        self.accounts[link.index()].set_power(now, self.lut.power(&self.model, point));
     }
 
     /// A fault window opens: record it, disable the link for outages, and
@@ -758,6 +1002,68 @@ impl PowerAwareSim {
         self.bucket_latency = Summary::new();
         self.bucket_injected = 0;
     }
+
+    /// Runs the DVS window deferred by [`PowerAwareSim::on_core_tick`] on
+    /// a shard replica, once the runtime has injected cross-shard buffer
+    /// occupancy. `now` is the tick the window closed at.
+    pub(crate) fn run_deferred_policy(&mut self, now: Picos, queue: &mut EventQueue<SimEvent>) {
+        let (ir, nl) = {
+            let ctx = self.shard.as_deref_mut().expect("deferred policy on shard");
+            debug_assert!(ctx.policy_pending, "no policy window pending");
+            ctx.policy_pending = false;
+            (ctx.spec.ir_links.clone(), ctx.spec.node_links.clone())
+        };
+        self.run_policy_windows_range(now, queue, ir.chain(nl));
+    }
+
+    /// Whether a DVS window is waiting on the barrier exchange.
+    pub(crate) fn policy_pending(&self) -> bool {
+        self.shard.as_deref().is_some_and(|ctx| ctx.policy_pending)
+    }
+
+    /// Detaches the shard context (after a parallel run, before merge),
+    /// returning the replica to sequential accessor behavior.
+    pub(crate) fn take_shard(&mut self) -> Option<Box<crate::shard::ShardCtx>> {
+        self.shard.take()
+    }
+
+    /// Adopts `donor`'s owned region — network state, per-link policy
+    /// controllers, lasers, energy accounts, operating points, epochs, and
+    /// fault state — and folds in its owned counters, reassembling the
+    /// sequential engine's state from per-shard replicas.
+    pub(crate) fn merge_shard(&mut self, donor: &PowerAwareSim, spec: &crate::shard::ShardSpec) {
+        self.net.adopt_region(
+            &donor.net,
+            spec.routers.clone(),
+            spec.nodes.clone(),
+            [spec.ir_links.clone(), spec.node_links.clone()],
+        );
+        for l in spec.ir_links.clone().chain(spec.node_links.clone()) {
+            if !self.controllers.is_empty() {
+                self.controllers[l] = donor.controllers[l].clone();
+            }
+            if !self.onoff.is_empty() {
+                self.onoff[l] = donor.onoff[l].clone();
+            }
+            if !self.lasers.is_empty() {
+                self.lasers[l] = donor.lasers[l].clone();
+            }
+            self.accounts[l] = donor.accounts[l].clone();
+            self.current_point[l] = donor.current_point[l];
+            self.link_epoch[l] = donor.link_epoch[l];
+        }
+        if let (Some(mine), Some(theirs)) = (self.faults.as_mut(), donor.faults.as_ref()) {
+            mine.adopt_links(theirs, spec.ir_links.clone());
+            mine.adopt_links(theirs, spec.node_links.clone());
+            mine.add_faults_injected(theirs.faults_injected());
+        }
+        self.sleeping.extend(donor.sleeping.iter().copied());
+        self.packets_injected_measured += donor.packets_injected_measured;
+        self.packets_dropped_at_measure += donor.packets_dropped_at_measure;
+        self.flits_dropped_at_measure += donor.flits_dropped_at_measure;
+        self.flits_corrupted_at_measure += donor.flits_corrupted_at_measure;
+        self.faults_at_measure += donor.faults_at_measure;
+    }
 }
 
 impl SimModel for PowerAwareSim {
@@ -766,8 +1072,12 @@ impl SimModel for PowerAwareSim {
     fn handle(&mut self, now: Picos, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
         match event {
             SimEvent::CoreTick => self.on_core_tick(now, queue),
+            SimEvent::FlitArrive { link, vc, flit } if self.shard.is_some() => {
+                self.on_flit_arrive_sharded(now, link, vc, flit, queue);
+            }
             SimEvent::FlitArrive { link, vc, flit } => {
-                self.net.flit_arrived(now, link, vc, flit, &mut self.effects);
+                self.net
+                    .flit_arrived(now, link, vc, flit, &mut self.effects);
                 // Drain by index (Effect is Copy) so the buffer keeps its
                 // capacity — this path runs once per flit hop, and a
                 // `mem::take` here would reallocate the Vec every arrival.
@@ -797,7 +1107,9 @@ impl SimModel for PowerAwareSim {
                 epoch,
             } => {
                 if epoch == self.link_epoch[link.index()] {
-                    self.net.link_mut(link).begin_rate_change(now, rate, disable);
+                    self.net
+                        .link_mut(link)
+                        .begin_rate_change(now, rate, disable);
                 }
             }
             SimEvent::PowerPoint { link, point, epoch } => {
@@ -817,8 +1129,15 @@ impl SimModel for PowerAwareSim {
                 self.on_fault_end(now, link, kind, queue);
             }
             SimEvent::LaserDecision => {
-                for laser in &mut self.lasers {
-                    laser.on_decision_period(now);
+                if let Some(ctx) = self.shard.as_deref() {
+                    let (ir, nl) = (ctx.spec.ir_links.clone(), ctx.spec.node_links.clone());
+                    for l in ir.chain(nl) {
+                        self.lasers[l].on_decision_period(now);
+                    }
+                } else {
+                    for laser in &mut self.lasers {
+                        laser.on_decision_period(now);
+                    }
                 }
                 let period = self.config.policy.timing.laser_decision_period;
                 queue.schedule(now + period, SimEvent::LaserDecision);
@@ -843,7 +1162,7 @@ mod tests {
         c
     }
 
-    fn uniform_source(config: &SystemConfig, rate: f64) -> Box<dyn TrafficSource> {
+    fn uniform_source(config: &SystemConfig, rate: f64) -> Box<dyn TrafficSource + Send> {
         Box::new(SyntheticSource::new(
             &config.noc,
             Pattern::Uniform,
@@ -1186,5 +1505,34 @@ mod tests {
             vcsel < mqw,
             "VCSEL ({vcsel}) should beat MQW ({mqw}) at low rates"
         );
+    }
+
+    #[test]
+    fn power_lut_matches_analytical_at_every_ladder_point() {
+        for tx in [
+            lumen_opto::link::TransmitterKind::MqwModulator,
+            lumen_opto::link::TransmitterKind::Vcsel,
+        ] {
+            let config = SystemConfig::paper_default().with_transmitter(tx);
+            let model = config.link_model();
+            let ladder = &config.policy.ladder;
+            let lut = PowerLut::build(&model, ladder);
+            // Every point a transition can visit is a ladder cross-product
+            // (voltage-first up, frequency-first down), and the LUT must
+            // agree with Eqs. 1–9 bitwise at each of them.
+            for vdd_level in 0..ladder.level_count() {
+                for rate_level in 0..ladder.level_count() {
+                    let p =
+                        OperatingPoint::new(ladder.rate_at(rate_level), ladder.vdd_at(vdd_level));
+                    assert!(
+                        lut.power(&model, p) == model.power(p),
+                        "LUT diverged from analytical model at {p:?} ({tx:?})"
+                    );
+                }
+            }
+            // Off-ladder points fall back to the analytical path.
+            let off = OperatingPoint::new(Gbps::from_gbps(7.37), ladder.vdd_at(0));
+            assert!(lut.power(&model, off) == model.power(off));
+        }
     }
 }

@@ -270,6 +270,18 @@ impl Link {
         );
     }
 
+    /// Folds in arrivals that were delivered on another shard's replica of
+    /// this link (the sharded runtime counts them on the receiving side and
+    /// reconciles here at merge time, restoring `arrived <= sent`).
+    pub(crate) fn absorb_arrivals(&mut self, n: u64) {
+        self.flits_arrived += n;
+        debug_assert!(
+            self.flits_arrived <= self.flits_sent,
+            "{}: more arrivals than sends after shard merge",
+            self.id
+        );
+    }
+
     /// Lifetime count of flits delivered downstream. The difference
     /// `flits_sent() - flits_arrived()` is the number of flits currently
     /// in flight on the wire (used by the conservation auditor).
@@ -336,7 +348,11 @@ mod tests {
     fn rate_change_disables_after_drain() {
         let mut l = link(10.0);
         l.start_flit(Picos::ZERO); // busy until 1600
-        l.begin_rate_change(Picos::from_ps(800), Gbps::from_gbps(5.0), Picos::from_ps(32_000));
+        l.begin_rate_change(
+            Picos::from_ps(800),
+            Gbps::from_gbps(5.0),
+            Picos::from_ps(32_000),
+        );
         // Disable window starts when the in-flight flit drains.
         assert_eq!(l.disabled_until(), Picos::from_ps(1600 + 32_000));
         assert!(!l.ready_at(Picos::from_ps(20_000)));

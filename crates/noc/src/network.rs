@@ -10,12 +10,12 @@
 
 use crate::config::NocConfig;
 use crate::flit::{Flit, Packet};
+use crate::ids::Direction;
 use crate::ids::{LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 use crate::link::{Endpoint, Link, LinkKind};
 use crate::node::{SinkNode, SourceNode};
 use crate::router::Router;
 use crate::routing::{direction_port, RoutingAlgorithm};
-use crate::ids::Direction;
 use lumen_desim::Picos;
 
 /// An externally-visible consequence of stepping the network; the driver
@@ -62,7 +62,7 @@ pub enum Effect {
 }
 
 /// The whole simulated network system.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     config: NocConfig,
     routers: Vec<Router>,
@@ -154,7 +154,12 @@ impl Network {
                 config.max_rate,
             ));
             routers[router.index()].inputs[local.0 as usize].feeder = Some(inj);
-            sources.push(SourceNode::new(node, inj, config.vcs, config.depth_per_vc()));
+            sources.push(SourceNode::new(
+                node,
+                inj,
+                config.vcs,
+                config.depth_per_vc(),
+            ));
 
             let ej = LinkId(links.len() as u32);
             links.push(Link::new(
@@ -270,6 +275,28 @@ impl Network {
         }
     }
 
+    /// One router-core cycle restricted to a contiguous region: only the
+    /// sources in `nodes` and the routers in `routers` are stepped, in the
+    /// same relative order as [`Network::tick`]. This is the sharded
+    /// runtime's stepping primitive — each shard replica ticks only the
+    /// rows it owns, so effect emission order within a shard matches the
+    /// sequential engine's order restricted to that region.
+    pub fn tick_range(
+        &mut self,
+        now: Picos,
+        effects: &mut Vec<Effect>,
+        routers: std::ops::Range<usize>,
+        nodes: std::ops::Range<usize>,
+    ) {
+        self.ticks += 1;
+        for src in &mut self.sources[nodes] {
+            src.tick(now, &mut self.links, effects);
+        }
+        for router in &mut self.routers[routers] {
+            router.tick(now, &self.config, &mut self.links, effects);
+        }
+    }
+
     /// Delivers a flit that finished traversing `link` (an
     /// [`Effect::Flit`] whose time has come).
     pub fn flit_arrived(
@@ -289,6 +316,37 @@ impl Network {
                 self.sinks[n.index()].receive(now, vc, flit, self.config.credit_delay, effects);
             }
         }
+    }
+
+    /// Delivers a flit whose link is *owned by another shard*: identical to
+    /// [`Network::flit_arrived`] except the link's own arrival counter is
+    /// not touched (the owning shard's replica holds the authoritative
+    /// `flits_sent`; counting an arrival here would trip the
+    /// `arrived <= sent` invariant on this replica's zero-send copy).
+    /// Callers must count these externally and reconcile via
+    /// [`Network::absorb_link_arrivals`] at merge time.
+    pub fn flit_arrived_unowned(
+        &mut self,
+        now: Picos,
+        link: LinkId,
+        vc: VcId,
+        flit: Flit,
+        effects: &mut Vec<Effect>,
+    ) {
+        match self.to_ep[link.index()] {
+            Endpoint::RouterPort { router, port } => {
+                self.routers[router.index()].accept_flit(port, vc, flit);
+            }
+            Endpoint::Node(n) => {
+                self.sinks[n.index()].receive(now, vc, flit, self.config.credit_delay, effects);
+            }
+        }
+    }
+
+    /// Folds `n` externally-counted arrivals into `link`'s counter (shard
+    /// merge reconciliation; see [`Network::flit_arrived_unowned`]).
+    pub fn absorb_link_arrivals(&mut self, link: LinkId, n: u64) {
+        self.links[link.index()].absorb_arrivals(n);
     }
 
     /// Delivers a credit back to the upstream side of `link` (an
@@ -311,10 +369,66 @@ impl Network {
     pub fn take_downstream_occupancy(&mut self, link: LinkId, cycles: u64) -> Option<f64> {
         match self.links[link.index()].to() {
             Endpoint::RouterPort { router, port } => {
-                let accum = self.routers[router.index()].inputs[port.0 as usize].take_occupancy_accum();
+                let accum =
+                    self.routers[router.index()].inputs[port.0 as usize].take_occupancy_accum();
                 (cycles > 0).then(|| accum as f64 / cycles as f64)
             }
             Endpoint::Node(_) => None,
+        }
+    }
+
+    /// Takes (and resets) the raw occupancy accumulator of the input port
+    /// downstream of `link`. Returns 0 for ejection links. The sharded
+    /// runtime uses this on the *ticking* replica of a boundary link's
+    /// downstream router to publish occupancy to the link's owner at
+    /// policy barriers; the paired [`Network::set_input_occupancy`] installs
+    /// it on the owner's (never-ticked, zero-accumulator) replica so
+    /// [`Network::take_downstream_occupancy`] then reads the true value.
+    pub fn take_input_occupancy(&mut self, link: LinkId) -> u64 {
+        match self.to_ep[link.index()] {
+            Endpoint::RouterPort { router, port } => {
+                self.routers[router.index()].inputs[port.0 as usize].take_occupancy_accum()
+            }
+            Endpoint::Node(_) => 0,
+        }
+    }
+
+    /// Installs a raw occupancy accumulator on the input port downstream of
+    /// `link` (see [`Network::take_input_occupancy`]). No-op for ejection
+    /// links.
+    pub fn set_input_occupancy(&mut self, link: LinkId, accum: u64) {
+        match self.to_ep[link.index()] {
+            Endpoint::RouterPort { router, port } => {
+                self.routers[router.index()].inputs[port.0 as usize].occupancy_accum = accum;
+            }
+            Endpoint::Node(_) => {}
+        }
+    }
+
+    /// Adopts a contiguous region of `donor`'s state: the routers, source/
+    /// sink nodes, and link ranges given. The sharded runtime reassembles
+    /// one coherent network after a parallel run by adopting each shard's
+    /// owned region into a single replica; endpoints and topology are
+    /// construction-deterministic, so only the mutable component state
+    /// moves.
+    pub fn adopt_region(
+        &mut self,
+        donor: &Network,
+        routers: std::ops::Range<usize>,
+        nodes: std::ops::Range<usize>,
+        link_ranges: [std::ops::Range<usize>; 2],
+    ) {
+        for r in routers {
+            self.routers[r].clone_from(&donor.routers[r]);
+        }
+        for n in nodes {
+            self.sources[n].clone_from(&donor.sources[n]);
+            self.sinks[n].clone_from(&donor.sinks[n]);
+        }
+        for range in link_ranges {
+            for l in range {
+                self.links[l].clone_from(&donor.links[l]);
+            }
         }
     }
 
@@ -419,7 +533,13 @@ mod tests {
     }
 
     fn packet(id: u64, src: usize, dst: usize, size: u32, at: Picos) -> Packet {
-        Packet::new(PacketId(id), NodeId(src as u32), NodeId(dst as u32), size, at)
+        Packet::new(
+            PacketId(id),
+            NodeId(src as u32),
+            NodeId(dst as u32),
+            size,
+            at,
+        )
     }
 
     #[test]
@@ -461,7 +581,14 @@ mod tests {
         d.net.inject(packet(1, 0, 1, 4, Picos::ZERO));
         d.run(100);
         assert_eq!(d.ejected.len(), 1);
-        let Effect::Ejected { packet: pid, src, dst, at, .. } = d.ejected[0] else {
+        let Effect::Ejected {
+            packet: pid,
+            src,
+            dst,
+            at,
+            ..
+        } = d.ejected[0]
+        else {
             panic!("expected ejection");
         };
         assert_eq!(pid, PacketId(1));
@@ -569,9 +696,11 @@ mod tests {
         let mut d = Driver::new(&config);
         // Slow every link to 5 Gb/s with a transition penalty.
         for l in 0..d.net.link_count() {
-            d.net
-                .link_mut(LinkId(l as u32))
-                .begin_rate_change(Picos::ZERO, Gbps::from_gbps(5.0), Picos::from_ps(32_000));
+            d.net.link_mut(LinkId(l as u32)).begin_rate_change(
+                Picos::ZERO,
+                Gbps::from_gbps(5.0),
+                Picos::from_ps(32_000),
+            );
         }
         d.net.inject(packet(1, 0, 7, 6, Picos::ZERO));
         d.run(400);
@@ -591,8 +720,7 @@ mod tests {
             }
             for k in 0..5 {
                 id += 1;
-                d.net
-                    .inject(packet(id, s, 3, 8, Picos::from_ns(k as u64)));
+                d.net.inject(packet(id, s, 3, 8, Picos::from_ns(k as u64)));
             }
         }
         d.run(5000);
