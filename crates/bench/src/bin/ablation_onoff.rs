@@ -1,7 +1,7 @@
 //! Ablation — DVS ladder vs on/off gating vs no power management.
 //!
 //! The paper's introduction positions its DVS-link design against networks
-//! whose links are "turned completely on and off" (its ref. [26]). This
+//! whose links are "turned completely on and off" (its ref. \[26\]). This
 //! harness runs both disciplines over the same workloads:
 //!
 //! - **steady uniform load** at several rates — DVS matches intermediate
@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin ablation_onoff [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, run_points, BenchArgs};
+use lumen_bench::{banner, defaults, run_points, write_trace, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_policy::OnOffConfig;
 use lumen_stats::csv::CsvBuilder;
@@ -38,6 +38,7 @@ fn main() {
         Experiment::new(config)
             .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
             .measure_cycles(measure)
+            .telemetry(args.telemetry())
     };
     let disciplines = [("DVS", dvs_config as fn() -> SystemConfig), ("on/off", onoff_config)];
 
@@ -90,6 +91,7 @@ fn main() {
     }));
     println!("\n{} points on {} threads:", points.len(), args.jobs);
     let results = run_points(&args.executor(), &points);
+    write_trace(&args, &points, &results);
 
     let mut csv = CsvBuilder::new(vec![
         "workload".into(),

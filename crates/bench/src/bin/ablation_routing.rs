@@ -1,6 +1,6 @@
 //! Ablation — deterministic XY vs west-first adaptive routing.
 //!
-//! The paper's acknowledged related work (its ref. [25], Silla et al.)
+//! The paper's acknowledged related work (its ref. \[25\], Silla et al.)
 //! studies how adaptivity changes network behaviour under bursty traffic.
 //! Our west-first implementation is additionally *power-aware*: the
 //! adaptive choice prefers outputs with free VCs and credits, which

@@ -3,7 +3,7 @@
 //! The paper motivates power-aware networks with the observation that
 //! "real-life network traffic exhibits substantial temporal and spatial
 //! variance", citing the Leland et al. self-similar Ethernet study (its
-//! ref. [14]) — but its evaluation uses synthetic/SPLASH traffic. This
+//! ref. \[14\]) — but its evaluation uses synthetic/SPLASH traffic. This
 //! extension closes that loop: Pareto ON/OFF sources (Hurst ≈ 0.75) drive
 //! the full 64-rack system and we measure how much of the idealized
 //! savings survive long-range-dependent burstiness, across the policy's

@@ -16,7 +16,7 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin fig5_load [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, run_points, BenchArgs};
+use lumen_bench::{banner, defaults, run_points, write_trace, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_opto::{Gbps, Volts};
 use lumen_stats::csv::CsvBuilder;
@@ -88,7 +88,8 @@ fn main() {
     for name in configs {
         let exp = Experiment::new(config_for(name))
             .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
-            .measure_cycles(scale.cycles(60_000));
+            .measure_cycles(scale.cycles(60_000))
+            .telemetry(args.telemetry());
         points.push(
             Point::new(format!("{name} zero-load"), exp.clone(), Workload::ZeroLoad { size })
                 .in_group(0),
@@ -141,4 +142,5 @@ fn main() {
         }
     }
     println!("\nCSV:\n{}", csv.as_str());
+    write_trace(&args, &points, &results);
 }

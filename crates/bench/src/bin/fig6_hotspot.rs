@@ -17,7 +17,7 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin fig6_hotspot [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, run_points, BenchArgs, RunScale};
+use lumen_bench::{banner, defaults, run_points, write_trace, BenchArgs, RunScale};
 use lumen_core::prelude::*;
 use lumen_stats::csv::CsvBuilder;
 use lumen_stats::TimeSeries;
@@ -27,14 +27,20 @@ struct Panel {
     result: RunResult,
 }
 
-fn variant_point(scale: RunScale, name: &'static str, tweak: &dyn Fn(&mut SystemConfig)) -> Point {
+fn variant_point(
+    scale: RunScale,
+    telemetry: TelemetryConfig,
+    name: &'static str,
+    tweak: &dyn Fn(&mut SystemConfig),
+) -> Point {
     let mut config = SystemConfig::paper_default();
     tweak(&mut config);
     let total = scale.cycles(800_000);
     let exp = Experiment::new(config)
         .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
         .measure_cycles(total)
-        .sample_every((total / 100).max(1_000));
+        .sample_every((total / 100).max(1_000))
+        .telemetry(telemetry);
     // Every panel is compared against the others over the same schedule,
     // so all points share one comparison group (one traffic realization).
     Point::new(
@@ -71,24 +77,26 @@ fn main() {
         "PA 3-optical-levels",
         "PA VCSEL",
     ];
+    let telemetry = args.telemetry();
     let points = vec![
-        variant_point(scale, names[0], &|c| c.power_aware = false),
-        variant_point(scale, names[1], &|_| {}),
-        variant_point(scale, names[2], &|c| {
+        variant_point(scale, telemetry, names[0], &|c| c.power_aware = false),
+        variant_point(scale, telemetry, names[1], &|_| {}),
+        variant_point(scale, telemetry, names[2], &|c| {
             c.policy.timing = c.policy.timing.with_zeroed_delays(true, false);
         }),
-        variant_point(scale, names[3], &|c| {
+        variant_point(scale, telemetry, names[3], &|c| {
             c.policy.timing = c.policy.timing.with_zeroed_delays(true, true);
         }),
-        variant_point(scale, names[4], &|c| {
+        variant_point(scale, telemetry, names[4], &|c| {
             c.policy.optical_mode = OpticalMode::ThreeLevel;
         }),
-        variant_point(scale, names[5], &|c| {
+        variant_point(scale, telemetry, names[5], &|c| {
             c.transmitter = TransmitterKind::Vcsel;
         }),
     ];
     println!("\n{} panels on {} threads:", points.len(), args.jobs);
     let results = run_points(&args.executor(), &points);
+    write_trace(&args, &points, &results);
 
     println!("\nPanels (full horizon = one schedule period):");
     let panels: Vec<Panel> = names

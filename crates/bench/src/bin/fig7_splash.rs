@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin fig7_splash [--quick] [--jobs N]`
 
-use lumen_bench::{banner, defaults, run_points, BenchArgs};
+use lumen_bench::{banner, defaults, run_points, write_trace, BenchArgs};
 use lumen_core::prelude::*;
 use lumen_stats::csv::CsvBuilder;
 
@@ -32,12 +32,14 @@ fn main() {
             let exp = Experiment::new(SystemConfig::paper_default())
                 .warmup_cycles(scale.cycles(defaults::WARMUP_CYCLES))
                 .measure_cycles(total)
-                .sample_every((total / 120).max(500));
+                .sample_every((total / 120).max(500))
+                .telemetry(args.telemetry());
             Point::new(app.to_string(), exp, Workload::Splash(app)).in_group(i as u64)
         })
         .collect();
     println!("\n{} traces on {} threads:", points.len(), args.jobs);
     let results = run_points(&args.executor(), &points);
+    write_trace(&args, &points, &results);
 
     let mut csv = CsvBuilder::new(vec![
         "app".into(),

@@ -15,6 +15,16 @@
 //! (each shard engine also processes barrier-window bookkeeping events
 //! that the sequential engine does not).
 //!
+//! Each point is also measured with full telemetry recording enabled
+//! (counters + per-link window series): the traced run must process the
+//! exact same events and reproduce packets/energy bit-for-bit (telemetry
+//! is purely observational), and its throughput is recorded as the
+//! telemetry overhead. The telemetry-*disabled* wheel numbers are
+//! compared against the PR-4 baseline recorded in `BENCH_events.json`;
+//! with `LUMEN_PERF_GATE=1` a drop beyond 3% fails the run (the CI
+//! perf-smoke job sets this — the job is `continue-on-error`, so shared-
+//! runner noise flags rather than gates).
+//!
 //! Run: `cargo run --release -p lumen-bench --bin perf_events -- \
 //!       [--quick] [--jobs N] [--shards N] [--out PATH]`
 //! (default out: BENCH_events.json)
@@ -35,6 +45,19 @@ const SEED_BASELINE: &[(&str, u64, f64)] = &[
     ("fig5_load non-PA-10G rate 4.0", 20_447_644, 5.148),
     ("fig5_load MQW-5-10 rate 4.0", 20_443_493, 5.594),
 ];
+
+/// The wheel backend's full-scale throughput recorded in
+/// `BENCH_events.json` by PR 4, before the telemetry subsystem existed.
+/// The telemetry-disabled hot path must stay within noise of these
+/// numbers (events/sec, same host class); `LUMEN_PERF_GATE=1` turns the
+/// comparison into a hard assert with a 3% tolerance.
+const PR4_WHEEL_BASELINE: &[(&str, f64)] = &[
+    ("fig5_load non-PA-10G rate 4.0", 7_906_729.0),
+    ("fig5_load MQW-5-10 rate 4.0", 6_556_282.0),
+];
+
+/// Tolerated events/sec drop vs the PR-4 baseline when gating.
+const PERF_GATE_TOLERANCE: f64 = 0.03;
 
 /// One backend's measurement of one simulation point.
 struct BackendPerf {
@@ -72,7 +95,15 @@ fn run_point_sharded(config: SystemConfig, rate: f64, scale: RunScale, shards: u
         Rng::seed_from(config.seed),
     ));
     let start = Instant::now();
-    let outcome = lumen_core::run_sharded(config, source, None, warmup, measure, shards);
+    let outcome = lumen_core::run_sharded(
+        config,
+        source,
+        None,
+        TelemetryConfig::default(),
+        warmup,
+        measure,
+        shards,
+    );
     let wall_s = start.elapsed().as_secs_f64();
     ShardPerf {
         shards,
@@ -83,7 +114,13 @@ fn run_point_sharded(config: SystemConfig, rate: f64, scale: RunScale, shards: u
     }
 }
 
-fn run_point(config: SystemConfig, rate: f64, scale: RunScale, reference: bool) -> BackendPerf {
+fn run_point(
+    config: SystemConfig,
+    rate: f64,
+    scale: RunScale,
+    reference: bool,
+    telemetry: TelemetryConfig,
+) -> BackendPerf {
     let warmup = scale.cycles(defaults::WARMUP_CYCLES);
     let measure = scale.cycles(60_000); // fig5_load's per-point horizon
     let source = Box::new(SyntheticSource::new(
@@ -98,7 +135,7 @@ fn run_point(config: SystemConfig, rate: f64, scale: RunScale, reference: bool) 
     let mut engine: Engine<PowerAwareSim> = if reference {
         PowerAwareSim::build_engine_reference_queue(config, source, None)
     } else {
-        PowerAwareSim::build_engine(config, source, None)
+        PowerAwareSim::build_engine_telemetry(config, source, None, telemetry)
     };
     engine.run_until(cycle * warmup);
     let now = engine.now();
@@ -154,6 +191,8 @@ fn json_point(
     cycles: u64,
     wheel: &BackendPerf,
     heap: &BackendPerf,
+    traced: &BackendPerf,
+    vs_pr4: Option<f64>,
     shard_runs: &[ShardPerf],
 ) -> String {
     let backend = |p: &BackendPerf| {
@@ -181,11 +220,15 @@ fn json_point(
             )
         })
         .collect();
+    let vs_pr4 = vs_pr4.map_or(String::from("null"), |r| format!("{r:.3}"));
     format!(
-        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2},\n      \"sharded\": [\n{}\n      ]\n    }}",
+        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2},\n      \"telemetry_on\": {},\n      \"telemetry_overhead_pct\": {:.1},\n      \"wheel_vs_pr4_baseline\": {},\n      \"sharded\": [\n{}\n      ]\n    }}",
         backend(wheel),
         backend(heap),
         wheel.events_per_sec() / heap.events_per_sec(),
+        backend(traced),
+        (wheel.events_per_sec() / traced.events_per_sec() - 1.0) * 100.0,
+        vs_pr4,
         shards.join(",\n")
     )
 }
@@ -224,6 +267,7 @@ fn main() {
         RunScale::Full => "full",
         RunScale::Quick => "quick",
     };
+    let perf_gate = std::env::var("LUMEN_PERF_GATE").is_ok_and(|v| v == "1");
     banner("perf_events", "event-core throughput trajectory");
 
     // --- Single-point events/sec: wheel vs reference heap. -------------
@@ -239,14 +283,20 @@ fn main() {
             c
         };
         println!("\n{name} ({scale_name} scale, {point_cycles} cycles):");
-        let wheel = run_point(config.clone(), rate, scale, false);
+        let wheel = run_point(config.clone(), rate, scale, false, TelemetryConfig::default());
         println!(
             "  wheel          {:>12.0} events/s  ({} events, {:.2}s)",
             wheel.events_per_sec(),
             wheel.events,
             wheel.wall_s
         );
-        let heap = run_point(config, rate, scale, true);
+        let heap = run_point(
+            config.clone(),
+            rate,
+            scale,
+            true,
+            TelemetryConfig::default(),
+        );
         println!(
             "  reference heap {:>12.0} events/s  ({} events, {:.2}s)",
             heap.events_per_sec(),
@@ -271,6 +321,49 @@ fn main() {
             wheel.delivered,
             wheel.energy_nj
         );
+
+        // Full telemetry recording on the wheel backend: observation only,
+        // so event counts, packets, and energy must all be untouched.
+        let traced = run_point(config, rate, scale, false, TelemetryConfig::full());
+        assert_eq!(
+            (traced.events, traced.scheduled, traced.delivered),
+            (wheel.events, wheel.scheduled, wheel.delivered),
+            "telemetry recording perturbed the simulation on {name}"
+        );
+        assert!(
+            traced.energy_nj == wheel.energy_nj,
+            "telemetry recording perturbed energy on {name}: {} vs {}",
+            traced.energy_nj,
+            wheel.energy_nj
+        );
+        println!(
+            "  telemetry on   {:>12.0} events/s  ({:.1}% overhead, bit-identical output)",
+            traced.events_per_sec(),
+            (wheel.events_per_sec() / traced.events_per_sec() - 1.0) * 100.0
+        );
+
+        // Telemetry-disabled hot path vs the PR-4 record (same host
+        // class, full scale; quick-scale ratios are indicative only).
+        let vs_pr4 = PR4_WHEEL_BASELINE
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, eps)| wheel.events_per_sec() / eps);
+        if let Some(ratio) = vs_pr4 {
+            println!(
+                "  vs PR-4 wheel  {:>11.2}x  (disabled-telemetry path, baseline {:.0} events/s)",
+                ratio,
+                PR4_WHEEL_BASELINE.iter().find(|(n, _)| *n == name).unwrap().1
+            );
+            if perf_gate {
+                assert!(
+                    ratio >= 1.0 - PERF_GATE_TOLERANCE,
+                    "telemetry-disabled hot path regressed {:.1}% vs the PR-4 \
+                     baseline on {name} (tolerance {:.0}%)",
+                    (1.0 - ratio) * 100.0,
+                    PERF_GATE_TOLERANCE * 100.0
+                );
+            }
+        }
 
         // Sharded backend at 1/2/4 shards (plus --shards N if distinct):
         // every run must reproduce the sequential physics exactly.
@@ -307,7 +400,15 @@ fn main() {
             shard_runs.push(perf);
         }
         println!("  cross-check ok at every shard count");
-        point_json.push(json_point(name, point_cycles, &wheel, &heap, &shard_runs));
+        point_json.push(json_point(
+            name,
+            point_cycles,
+            &wheel,
+            &heap,
+            &traced,
+            vs_pr4,
+            &shard_runs,
+        ));
     }
 
     // --- Whole-sweep wall-clock at jobs=1 and jobs=N (quick scale). -----
@@ -341,7 +442,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"lumen-bench-events/2\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"sharded_note\": \"sharded events_per_sec = sequential event count / sharded wall-clock (comparable across shard counts); parallel speedup requires host cores >= shards — on a 1-core host shards time-slice and measure pure barrier overhead\",\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"lumen-bench-events/3\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"sharded_note\": \"sharded events_per_sec = sequential event count / sharded wall-clock (comparable across shard counts); parallel speedup requires host cores >= shards — on a 1-core host shards time-slice and measure pure barrier overhead\",\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         Executor::available().jobs(),
         seed_json.join(",\n"),
         point_json.join(",\n"),

@@ -44,7 +44,7 @@ impl RunScale {
 }
 
 /// The command-line options shared by every harness binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Horizon scaling (`--quick` for smoke runs).
     pub scale: RunScale,
@@ -55,6 +55,10 @@ pub struct BenchArgs {
     /// Results are bit-identical at every shard count; shards trade
     /// point-level parallelism (`--jobs`) for within-point parallelism.
     pub shards: usize,
+    /// Telemetry trace output path (`--trace PATH`). `None` (the default)
+    /// leaves telemetry off entirely; a `.csv` suffix selects CSV, any
+    /// other suffix JSON Lines (see OBSERVABILITY.md for the schema).
+    pub trace: Option<String>,
 }
 
 impl BenchArgs {
@@ -86,6 +90,7 @@ impl BenchArgs {
         let mut scale = RunScale::Full;
         let mut jobs = Executor::available().jobs();
         let mut shards = 1usize;
+        let mut trace = None;
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -103,11 +108,19 @@ impl BenchArgs {
                     })?;
                     shards = parse_shards(value)?;
                 }
+                "--trace" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseOutcome::Error("`--trace` needs a path".into()))?;
+                    trace = Some(parse_trace(value)?);
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--jobs=") {
                         jobs = parse_jobs(value)?;
                     } else if let Some(value) = other.strip_prefix("--shards=") {
                         shards = parse_shards(value)?;
+                    } else if let Some(value) = other.strip_prefix("--trace=") {
+                        trace = Some(parse_trace(value)?);
                     } else {
                         return Err(ParseOutcome::Error(format!("unknown flag `{other}`")));
                     }
@@ -118,7 +131,20 @@ impl BenchArgs {
             scale,
             jobs,
             shards,
+            trace,
         })
+    }
+
+    /// The telemetry configuration implied by the flags: full recording
+    /// when `--trace` was given, off otherwise. Pass this to
+    /// [`Experiment::telemetry`] on every point so a traced sweep records
+    /// and an untraced one pays nothing.
+    pub fn telemetry(&self) -> TelemetryConfig {
+        if self.trace.is_some() {
+            TelemetryConfig::full()
+        } else {
+            TelemetryConfig::default()
+        }
     }
 
     /// The executor sized by `--jobs`, capped so `jobs × shards` does not
@@ -132,7 +158,7 @@ impl BenchArgs {
     /// The usage text shared by every harness binary.
     pub fn usage() -> String {
         format!(
-            "usage: <harness> [--quick] [--jobs N] [--shards N] [--help]\n\
+            "usage: <harness> [--quick] [--jobs N] [--shards N] [--trace PATH] [--help]\n\
              \n\
              options:\n\
              \x20 --quick          ~10x shorter horizons (smoke/CI runs)\n\
@@ -142,6 +168,9 @@ impl BenchArgs {
              \x20 --shards N, -s N parallel shards within each simulation\n\
              \x20                  (default 1 = sequential; results are\n\
              \x20                  bit-identical at every shard count)\n\
+             \x20 --trace PATH     record per-link telemetry for every point\n\
+             \x20                  and write a merged trace (JSONL; CSV if\n\
+             \x20                  PATH ends in .csv) — see OBSERVABILITY.md\n\
              \x20 --help, -h       show this message",
             Executor::available().jobs()
         )
@@ -173,6 +202,69 @@ fn parse_shards(value: &str) -> Result<usize, ParseOutcome> {
             "`--shards` needs a positive integer, got `{value}`"
         ))),
     }
+}
+
+fn parse_trace(value: &str) -> Result<String, ParseOutcome> {
+    if value.is_empty() || value.starts_with('-') {
+        Err(ParseOutcome::Error(format!(
+            "`--trace` needs an output path, got `{value}`"
+        )))
+    } else {
+        Ok(value.to_string())
+    }
+}
+
+/// Writes the telemetry traces of a finished sweep to the `--trace` path,
+/// if one was given (a no-op otherwise). Points are concatenated in
+/// submission order; JSONL output separates them with a
+/// `{"kind":"point","label":...}` record, CSV output prefixes every row
+/// with a `label` column. Points whose experiment did not record
+/// telemetry are skipped.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_trace(args: &BenchArgs, points: &[Point], results: &[RunResult]) {
+    let Some(path) = args.trace.as_deref() else {
+        return;
+    };
+    let csv = path.ends_with(".csv");
+    let mut out = String::new();
+    let mut traced = 0usize;
+    for (point, result) in points.iter().zip(results) {
+        let Some(report) = result.telemetry.as_ref() else {
+            continue;
+        };
+        traced += 1;
+        if csv {
+            let body = report.to_csv();
+            let mut lines = body.lines();
+            match lines.next() {
+                Some(header) if out.is_empty() => {
+                    out.push_str("label,");
+                    out.push_str(header);
+                    out.push('\n');
+                }
+                _ => {} // repeated header dropped on later points
+            }
+            for line in lines {
+                out.push_str(&point.label);
+                out.push(',');
+                out.push_str(line);
+                out.push('\n');
+            }
+        } else {
+            // `{:?}` on a str matches JSON string escaping for the ASCII
+            // labels the harnesses use.
+            out.push_str(&format!(
+                "{{\"kind\":\"point\",\"label\":{:?}}}\n",
+                point.label
+            ));
+            out.push_str(&report.to_jsonl());
+        }
+    }
+    std::fs::write(path, &out).expect("write --trace output");
+    println!("wrote telemetry trace ({traced} points) to {path}");
 }
 
 /// Runs `points` on `executor`, printing one progress line per completed
@@ -285,6 +377,20 @@ mod tests {
         assert_eq!(a.scale, RunScale::Full);
         assert_eq!(a.jobs, Executor::available().jobs());
         assert_eq!(a.shards, 1);
+        assert_eq!(a.trace, None);
+        assert!(!a.telemetry().enabled(), "no --trace, no telemetry cost");
+    }
+
+    #[test]
+    fn args_trace_forms() {
+        for form in [
+            argv(&["--trace", "out.jsonl"]),
+            argv(&["--trace=out.jsonl"]),
+        ] {
+            let a = BenchArgs::try_parse(&form).unwrap();
+            assert_eq!(a.trace.as_deref(), Some("out.jsonl"), "{form:?}");
+            assert_eq!(a.telemetry(), lumen_core::TelemetryConfig::full());
+        }
     }
 
     #[test]
@@ -334,6 +440,9 @@ mod tests {
             argv(&["--shards", "zero"]),
             argv(&["--shards=0"]),
             argv(&["--shard", "2"]),
+            argv(&["--trace"]),
+            argv(&["--trace="]),
+            argv(&["--trace", "--quick"]),
             argv(&["extra"]),
         ] {
             match BenchArgs::try_parse(&bad) {
@@ -374,5 +483,58 @@ mod tests {
         let results = run_points(&Executor::new(2), &points);
         assert_eq!(results.len(), 3);
         assert!(results.iter().all(|r| r.packets_delivered > 0));
+    }
+
+    #[test]
+    fn write_trace_merges_points_in_order() {
+        let mut config = SystemConfig::paper_default();
+        config.noc = lumen_noc::NocConfig::small_for_tests();
+        config.policy.timing.tw_cycles = 200;
+        let exp = Experiment::new(config)
+            .warmup_cycles(200)
+            .measure_cycles(1_000)
+            .telemetry(TelemetryConfig::full());
+        let workload = Workload::Uniform {
+            rate: 0.05,
+            size: PacketSize::Fixed(4),
+        };
+        let points = vec![
+            Point::new("alpha", exp.clone(), workload.clone()),
+            Point::new("beta", exp, workload),
+        ];
+        let results = run_points(&Executor::new(1), &points);
+
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("lumen_bench_trace_test.jsonl");
+        let args = BenchArgs {
+            scale: RunScale::Quick,
+            jobs: 1,
+            shards: 1,
+            trace: Some(jsonl.to_str().unwrap().into()),
+        };
+        write_trace(&args, &points, &results);
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let alpha = text.find("{\"kind\":\"point\",\"label\":\"alpha\"}").unwrap();
+        let beta = text.find("{\"kind\":\"point\",\"label\":\"beta\"}").unwrap();
+        assert!(alpha < beta, "points in submission order");
+        assert_eq!(text.matches("\"kind\":\"header\"").count(), 2);
+        std::fs::remove_file(&jsonl).ok();
+
+        let csv = dir.join("lumen_bench_trace_test.csv");
+        let args = BenchArgs {
+            trace: Some(csv.to_str().unwrap().into()),
+            ..args
+        };
+        write_trace(&args, &points, &results);
+        let text = std::fs::read_to_string(&csv).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("label,cycle,t_ps,link"));
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("label,")).count(),
+            1,
+            "header appears once"
+        );
+        assert!(text.contains("\nbeta,"));
+        std::fs::remove_file(&csv).ok();
     }
 }

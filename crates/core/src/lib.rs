@@ -49,6 +49,7 @@ pub mod runner;
 pub mod shard;
 pub mod sim;
 pub mod sweep;
+pub mod telemetry;
 
 /// One-stop imports for typical use.
 pub mod prelude {
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use crate::runner::Experiment;
     pub use crate::sim::PowerAwareSim;
     pub use crate::sweep::LoadSweep;
+    pub use crate::telemetry::{TelemetryConfig, TelemetryReport};
     pub use lumen_noc::NocConfig;
     pub use lumen_opto::link::TransmitterKind;
     pub use lumen_policy::{BitRateLadder, OpticalMode, PolicyConfig};
@@ -75,3 +77,6 @@ pub use shard::{
 };
 pub use sim::PowerAwareSim;
 pub use sweep::{LoadSweep, SweepPoint};
+pub use telemetry::{
+    LinkWindowRow, MetricsRegistry, TelemetryConfig, TelemetryReport, TRACE_SCHEMA,
+};

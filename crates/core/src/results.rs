@@ -1,5 +1,6 @@
 //! Run results: the metrics the paper's evaluation reports.
 
+use crate::telemetry::TelemetryReport;
 use lumen_stats::{Summary, TimeSeries};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -46,6 +47,10 @@ pub struct RunResult {
     pub power_series: TimeSeries,
     /// Injection rate (packets/cycle) per sampling bucket over time.
     pub injection_series: TimeSeries,
+    /// Telemetry record (counters + per-link window series); `None`
+    /// unless the experiment enabled it via
+    /// [`Experiment::telemetry`](crate::Experiment::telemetry).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunResult {
@@ -157,6 +162,7 @@ mod tests {
             latency_series: TimeSeries::new("l"),
             power_series: TimeSeries::new("p"),
             injection_series: TimeSeries::new("i"),
+            telemetry: None,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::results::RunResult;
+use crate::telemetry::TelemetryConfig;
 use lumen_desim::Rng;
 use lumen_traffic::{PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource};
 
@@ -19,6 +20,7 @@ pub struct Experiment {
     sample_every: Option<u64>,
     audit: bool,
     shards: usize,
+    telemetry: TelemetryConfig,
 }
 
 impl Experiment {
@@ -35,6 +37,7 @@ impl Experiment {
             sample_every: None,
             audit: false,
             shards: crate::shard::default_shards(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -73,6 +76,16 @@ impl Experiment {
         self
     }
 
+    /// Enables telemetry recording per `config` (see
+    /// [`crate::telemetry`]). The run's [`RunResult::telemetry`] then
+    /// carries the counter registry and per-link window series; recording
+    /// is purely observational, so every other metric is bit-identical to
+    /// a telemetry-off run.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
+    }
+
     /// Replaces the master seed (used by the parallel executor to give
     /// each batch point its own derived stream).
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -94,14 +107,36 @@ impl Experiment {
             self.config.clone(),
             source,
             self.sample_every,
+            self.telemetry,
             self.warmup_cycles,
             self.measure_cycles,
             self.shards,
         );
-        let (sim, end) = (&outcome.sim, outcome.end);
-        if self.audit || cfg!(debug_assertions) {
-            lumen_noc::audit(sim.network()).assert_ok();
+        let (mut sim, end) = (outcome.sim, outcome.end);
+        // Telemetry with shards > 1 forces the audit even in release: the
+        // exported counters must agree with the auditor's flit/credit
+        // balance across every shard cut.
+        let audit_report = (self.audit
+            || cfg!(debug_assertions)
+            || (self.telemetry.enabled() && self.shards > 1))
+            .then(|| lumen_noc::audit(sim.network()));
+        if let Some(report) = audit_report.as_ref() {
+            report.assert_ok();
         }
+        let telemetry = sim.take_telemetry_report(end, outcome.events);
+        if let (Some(t), Some(report)) = (telemetry.as_ref(), audit_report.as_ref()) {
+            if self.telemetry.counters {
+                assert_eq!(
+                    t.counters.flits_injected, report.flits_injected,
+                    "telemetry flit-injection counter disagrees with the auditor"
+                );
+                assert_eq!(
+                    t.counters.flits_dropped, report.flits_dropped,
+                    "telemetry flit-drop counter disagrees with the auditor"
+                );
+            }
+        }
+        let sim = &sim;
         let summary = sim.latency_summary().clone();
         let hist = sim.latency_histogram();
         let (lat_s, pow_s, inj_s) = sim.series();
@@ -128,6 +163,7 @@ impl Experiment {
             latency_series: lat_s.clone(),
             power_series: pow_s.clone(),
             injection_series: inj_s.clone(),
+            telemetry,
         }
     }
 

@@ -36,6 +36,7 @@
 
 use crate::config::SystemConfig;
 use crate::sim::{PowerAwareSim, SimEvent};
+use crate::telemetry::TelemetryConfig;
 use lumen_desim::Picos;
 use lumen_noc::ids::{Direction, LinkId, RouterId};
 use lumen_noc::{NocConfig, Packet};
@@ -520,6 +521,7 @@ pub fn run_sharded(
     config: SystemConfig,
     source: Box<dyn TrafficSource + Send>,
     sample_every: Option<u64>,
+    telemetry: TelemetryConfig,
     warmup_cycles: u64,
     measure_cycles: u64,
     shards: usize,
@@ -534,7 +536,7 @@ pub fn run_sharded(
     let specs = partition(&config.noc, shards);
     if specs.len() <= 1 {
         // Sequential reference path, identical to Experiment::run.
-        let mut engine = PowerAwareSim::build_engine(config, source, sample_every);
+        let mut engine = PowerAwareSim::build_engine_telemetry(config, source, sample_every, telemetry);
         engine.run_until(cycle * warmup_cycles);
         let now = engine.now();
         engine.model_mut().begin_measurement(now);
@@ -608,7 +610,7 @@ pub fn run_sharded(
                     generated: 0,
                 });
                 let mut engine =
-                    PowerAwareSim::build_engine_shard(cfg, feed_source, sample_every, ctx);
+                    PowerAwareSim::build_engine_shard(cfg, feed_source, sample_every, telemetry, ctx);
                 let mut coordinator = coordinator;
                 for k in 0..=total {
                     let t_k = cycle * k;
@@ -889,6 +891,7 @@ mod tests {
             config.clone(),
             uniform(&config, rate),
             sample,
+            TelemetryConfig::default(),
             warmup,
             measure,
             1,
@@ -897,6 +900,7 @@ mod tests {
             config.clone(),
             uniform(&config, rate),
             sample,
+            TelemetryConfig::default(),
             warmup,
             measure,
             2,

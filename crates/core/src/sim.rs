@@ -20,6 +20,10 @@
 
 use crate::config::SystemConfig;
 use crate::fault::{FaultKind, FaultPlan};
+use crate::telemetry::{
+    LinkWindowRow, MetricsRegistry, TelemetryCollector, TelemetryConfig, TelemetryReport,
+    TRACE_SCHEMA,
+};
 use lumen_desim::{Engine, EventQueue, Picos, SimModel};
 use lumen_noc::flit::Flit;
 use lumen_noc::ids::{LinkId, VcId};
@@ -188,6 +192,10 @@ pub struct PowerAwareSim {
     // `crate::shard::run_sharded`. `None` is the sequential engine, whose
     // behavior this PR leaves bit-for-bit untouched.
     pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    // Telemetry recording state: `None` when disabled, so the only cost on
+    // the disabled path is this Option check at policy-window boundaries.
+    // Purely observational — draws no RNG, schedules no events.
+    pub(crate) telemetry: Option<Box<TelemetryCollector>>,
 }
 
 impl PowerAwareSim {
@@ -199,7 +207,26 @@ impl PowerAwareSim {
         source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
     ) -> Engine<PowerAwareSim> {
-        Self::build_engine_inner(config, source, sample_every, false, None)
+        Self::build_engine_inner(
+            config,
+            source,
+            sample_every,
+            TelemetryConfig::default(),
+            false,
+            None,
+        )
+    }
+
+    /// [`PowerAwareSim::build_engine`] with telemetry recording enabled per
+    /// `telemetry`. Used by [`crate::Experiment`]; recording arms itself at
+    /// [`PowerAwareSim::begin_measurement`].
+    pub fn build_engine_telemetry(
+        config: SystemConfig,
+        source: Box<dyn TrafficSource + Send>,
+        sample_every: Option<u64>,
+        telemetry: TelemetryConfig,
+    ) -> Engine<PowerAwareSim> {
+        Self::build_engine_inner(config, source, sample_every, telemetry, false, None)
     }
 
     /// Builds one shard replica of the system for the conservative-parallel
@@ -209,9 +236,17 @@ impl PowerAwareSim {
         config: SystemConfig,
         source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
+        telemetry: TelemetryConfig,
         ctx: crate::shard::ShardCtx,
     ) -> Engine<PowerAwareSim> {
-        Self::build_engine_inner(config, source, sample_every, false, Some(Box::new(ctx)))
+        Self::build_engine_inner(
+            config,
+            source,
+            sample_every,
+            telemetry,
+            false,
+            Some(Box::new(ctx)),
+        )
     }
 
     /// [`PowerAwareSim::build_engine`], but on the reference binary-heap
@@ -224,13 +259,21 @@ impl PowerAwareSim {
         source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
     ) -> Engine<PowerAwareSim> {
-        Self::build_engine_inner(config, source, sample_every, true, None)
+        Self::build_engine_inner(
+            config,
+            source,
+            sample_every,
+            TelemetryConfig::default(),
+            true,
+            None,
+        )
     }
 
     fn build_engine_inner(
         config: SystemConfig,
         source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
+        telemetry: TelemetryConfig,
         reference_queue: bool,
         shard: Option<Box<crate::shard::ShardCtx>>,
     ) -> Engine<PowerAwareSim> {
@@ -363,6 +406,9 @@ impl PowerAwareSim {
             effects: Vec::new(),
             packets: Vec::new(),
             shard,
+            telemetry: telemetry
+                .enabled()
+                .then(|| Box::new(TelemetryCollector::new(telemetry, link_count))),
             config,
         };
         // Calendar sizing: each link can have a flit and a credit in
@@ -431,6 +477,9 @@ impl PowerAwareSim {
         self.bucket_injected = 0;
         self.last_sample_time = now;
         self.last_sample_energy_nj = 0.0;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.reset();
+        }
     }
 
     /// Per-packet latency statistics (cycles) since measurement began.
@@ -589,6 +638,23 @@ impl PowerAwareSim {
                     self.run_onoff_windows_range(now, ir.chain(nl));
                 } else {
                     self.run_onoff_windows(now);
+                }
+            } else if self
+                .telemetry
+                .as_deref()
+                .is_some_and(|t| t.config.link_series)
+            {
+                // Non-power-aware system: no policy consumes the window
+                // counters, so a telemetry-only pass reads them. Taking
+                // them is invisible to the simulation (nothing else reads
+                // window busy/demand here) and happens identically on the
+                // owning shard, preserving bit-identity.
+                if let Some(ctx) = self.shard.as_deref() {
+                    let (ir, nl) = (ctx.spec.ir_links.clone(), ctx.spec.node_links.clone());
+                    self.run_telemetry_windows_range(now, ir.chain(nl));
+                } else {
+                    let n = self.net.link_count();
+                    self.run_telemetry_windows_range(now, 0..n);
                 }
             }
         }
@@ -814,7 +880,14 @@ impl PowerAwareSim {
                 .unwrap_or(0.0);
             let current_rate = self.net.link(id).rate();
             self.lasers[l].note_rate(current_rate);
-            let Some(mut tr) = self.controllers[l].on_window(now, lu, bu) else {
+            let decision = self.controllers[l].on_window(now, lu, bu);
+            if self.telemetry.is_some() {
+                // Row reflects the state the decision was made *from*:
+                // recorded before any transition this window plans.
+                let lu_avg = self.controllers[l].last_predicted();
+                self.telemetry_push(now, l, lu, lu_avg, bu, false);
+            }
+            let Some(mut tr) = decision else {
                 continue;
             };
             // Rate increases on three-level MQW systems may need to wait
@@ -889,6 +962,11 @@ impl PowerAwareSim {
             let lu = (busy.as_ps() as f64 / tw_duration.as_ps() as f64)
                 .max(demand as f64 / self.tw_cycles as f64)
                 .min(1.0);
+            if self.telemetry.is_some() {
+                // On/off windows have no `Bu` input and no predictor; the
+                // smoothed column repeats the raw sample.
+                self.telemetry_push(now, l, lu, lu, 0.0, false);
+            }
             if let Some(GateAction::SleepNow) = self.onoff[l].on_window(now, lu) {
                 self.net.link_mut(id).power_gate_off();
                 let off = self.model.max_power() * self.onoff[l].off_power_fraction();
@@ -1003,6 +1081,147 @@ impl PowerAwareSim {
         self.bucket_injected = 0;
     }
 
+    /// Records one per-link telemetry row at a window boundary (or the
+    /// closing flush). No-op unless the link series is enabled and
+    /// measurement has begun. Reads only values the policy path already
+    /// computed — never perturbs simulation state.
+    fn telemetry_push(&mut self, now: Picos, l: usize, lu: f64, lu_avg: f64, bu: f64, closing: bool) {
+        let Some(t) = self.telemetry.as_deref() else {
+            return;
+        };
+        if !t.config.link_series || !t.active {
+            return;
+        }
+        let id = LinkId(l as u32);
+        let energy = self.accounts[l].energy_nj_at(now);
+        let rate_gbps = self.net.link(id).rate().as_gbps();
+        let power_mw = self.accounts[l].current_power().as_mw();
+        let components_mw: Vec<f64> = self
+            .model
+            .breakdown(self.current_point[l])
+            .into_iter()
+            .map(|(_, p)| p.as_mw())
+            .collect();
+        let cycle = self.cycle_index;
+        let t = self.telemetry.as_deref_mut().expect("checked above");
+        let energy_nj = energy - t.last_energy_nj[l];
+        t.last_energy_nj[l] = energy;
+        t.rows.push(LinkWindowRow {
+            cycle,
+            t_ps: now.as_ps(),
+            link: l as u32,
+            closing,
+            lu,
+            lu_avg,
+            bu,
+            rate_gbps,
+            power_mw,
+            energy_nj,
+            components_mw,
+        });
+    }
+
+    /// The telemetry-only window pass for non-power-aware systems: same
+    /// `Lu` arithmetic as the policies, rows only. `Bu` is not read — the
+    /// occupancy exchange is a DVS-barrier service, so a telemetry-only
+    /// pass records 0 there and stays shard-safe.
+    fn run_telemetry_windows_range(&mut self, now: Picos, links: impl Iterator<Item = usize>) {
+        let tw_duration = self.cycle * self.tw_cycles;
+        for l in links {
+            let id = LinkId(l as u32);
+            let busy = self.net.link_mut(id).take_window_busy();
+            let demand = self.net.link_mut(id).take_window_demand();
+            let lu = (busy.as_ps() as f64 / tw_duration.as_ps() as f64)
+                .max(demand as f64 / self.tw_cycles as f64)
+                .min(1.0);
+            self.telemetry_push(now, l, lu, lu, 0.0, false);
+        }
+    }
+
+    /// Emits one final `closing` row per link at `end` so the energy
+    /// column telescopes to the total measured energy.
+    fn telemetry_flush(&mut self, end: Picos) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        for l in 0..self.net.link_count() {
+            self.telemetry_push(end, l, 0.0, 0.0, 0.0, true);
+        }
+    }
+
+    /// Sums the end-of-run counter registry from state the simulator (and
+    /// network) already keeps. Counters cover the whole run, warmup
+    /// included — they are conservation totals, not measurement-window
+    /// rates. All are shard-invariant except `events` (see its docs).
+    fn collect_registry(&self, events: u64) -> MetricsRegistry {
+        let mut m = MetricsRegistry {
+            events,
+            packets_delivered: self.net.packets_delivered(),
+            packets_dropped: self.net.packets_dropped(),
+            flits_injected: self.net.flits_injected(),
+            flits_dropped: self.net.flits_dropped(),
+            flits_corrupted: self.net.flits_corrupted(),
+            faults_injected: self.faults_injected(),
+            ..MetricsRegistry::default()
+        };
+        for r in self.net.routers() {
+            m.alloc_won += r.flits_switched;
+            m.alloc_lost += r.sa_denials;
+        }
+        for l in 0..self.net.link_count() {
+            let link = self.net.link(LinkId(l as u32));
+            m.flits_sent += link.flits_sent();
+            m.rate_changes += link.rate_changes();
+        }
+        for c in &self.controllers {
+            m.dvs_decisions += c.decisions;
+            m.dvs_ups += c.ups;
+            m.dvs_downs += c.downs;
+        }
+        for c in &self.onoff {
+            m.onoff_sleeps += c.sleeps;
+            m.onoff_wakes += c.wakes;
+        }
+        for laser in &self.lasers {
+            m.laser_pincs += laser.pincs;
+            m.laser_pdecs += laser.pdecs;
+        }
+        m
+    }
+
+    /// Finalizes telemetry into a [`TelemetryReport`]: flushes the closing
+    /// rows, sorts the (possibly shard-concatenated) series into the
+    /// sequential engine's deterministic `(time, link)` emission order,
+    /// and collects the counter registry. Returns `None` when telemetry
+    /// was disabled. `events` is the engine's processed-event count.
+    pub fn take_telemetry_report(&mut self, end: Picos, events: u64) -> Option<TelemetryReport> {
+        self.telemetry.as_deref()?;
+        self.telemetry_flush(end);
+        let t = *self.telemetry.take().expect("checked above");
+        let counters = if t.config.counters {
+            self.collect_registry(events)
+        } else {
+            MetricsRegistry::default()
+        };
+        let mut rows = t.rows;
+        rows.sort_by(|a, b| (a.t_ps, a.link, a.closing).cmp(&(b.t_ps, b.link, b.closing)));
+        Some(TelemetryReport {
+            schema: TRACE_SCHEMA.to_string(),
+            tw_cycles: self.tw_cycles,
+            links: self.net.link_count() as u32,
+            components: self
+                .model
+                .components()
+                .iter()
+                .map(|c| c.id().to_string())
+                .collect(),
+            rows,
+            counters,
+            end_t_ps: end.as_ps(),
+            energy_nj: self.energy_nj(end),
+        })
+    }
+
     /// Runs the DVS window deferred by [`PowerAwareSim::on_core_tick`] on
     /// a shard replica, once the runtime has injected cross-shard buffer
     /// occupancy. `now` is the tick the window closed at.
@@ -1056,6 +1275,17 @@ impl PowerAwareSim {
             mine.adopt_links(theirs, spec.ir_links.clone());
             mine.adopt_links(theirs, spec.node_links.clone());
             mine.add_faults_injected(theirs.faults_injected());
+        }
+        if let (Some(mine), Some(theirs)) =
+            (self.telemetry.as_deref_mut(), donor.telemetry.as_deref())
+        {
+            // Rows are concatenated here and sorted into the sequential
+            // (time, link) emission order by `take_telemetry_report`; the
+            // energy baselines move with the links' energy accounts.
+            mine.rows.extend(theirs.rows.iter().cloned());
+            for l in spec.ir_links.clone().chain(spec.node_links.clone()) {
+                mine.last_energy_nj[l] = theirs.last_energy_nj[l];
+            }
         }
         self.sleeping.extend(donor.sleeping.iter().copied());
         self.packets_injected_measured += donor.packets_injected_measured;

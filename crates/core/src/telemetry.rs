@@ -1,0 +1,421 @@
+//! Deterministic, low-overhead tracing and metrics for power-aware runs.
+//!
+//! The paper's argument is about *seeing* where the power goes — Table 2's
+//! component breakdown and the §3.3 policy's `Lu`/`Bu` window dynamics.
+//! This module records exactly those quantities without perturbing the
+//! simulation:
+//!
+//! - a [`MetricsRegistry`] of end-of-run counters (allocations won/lost,
+//!   corrupted flits dropped, rate-ladder transitions, laser-bank
+//!   switches, …), each one a sum over state the simulator already keeps;
+//! - a per-link time series of [`LinkWindowRow`]s sampled at every policy
+//!   window boundary: `Lu`, the predictor's smoothed `Lu`, `Bu`, the
+//!   current bit rate, electrical power, energy accrued since the previous
+//!   window, and the §2 component-level power breakdown;
+//! - a schema-versioned JSONL/CSV exporter ([`TelemetryReport::to_jsonl`]
+//!   and [`TelemetryReport::to_csv`]) used by the bench `--trace` flag.
+//!
+//! Telemetry is purely observational: it draws no random numbers, schedules
+//! no events, and reads only values the policy path already computes, so a
+//! telemetry-on run is bit-identical (packets, latency, energy) to a
+//! telemetry-off run. Under sharding, each shard records rows for the links
+//! it owns and the merge step concatenates them; rows are then sorted by
+//! `(time, link id)`, which reproduces the sequential engine's emission
+//! order exactly, so `--shards 1` and `--shards 2` traces are
+//! byte-identical. See `DESIGN.md` §6d and `OBSERVABILITY.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// Version tag stamped into every trace header. Bump when a field is
+/// added, removed, or changes meaning (see `OBSERVABILITY.md`).
+pub const TRACE_SCHEMA: &str = "lumen-trace/1";
+
+/// What the telemetry subsystem records. The default is fully disabled,
+/// which costs one branch per policy window and nothing on the flit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Collect the end-of-run [`MetricsRegistry`].
+    pub counters: bool,
+    /// Record a [`LinkWindowRow`] per link per policy window.
+    pub link_series: bool,
+}
+
+impl TelemetryConfig {
+    /// Everything on: counters and the per-link window series.
+    pub fn full() -> Self {
+        TelemetryConfig {
+            counters: true,
+            link_series: true,
+        }
+    }
+
+    /// True if any recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.counters || self.link_series
+    }
+}
+
+/// One per-link sample taken at a policy window boundary.
+///
+/// Rows are emitted when a window closes (every `Tw`, §3.3), plus one
+/// final `closing` row per link at the end of measurement so the energy
+/// column telescopes to the run's total measured energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkWindowRow {
+    /// Router-cycle index at which the window closed.
+    pub cycle: u64,
+    /// Simulation time of the window boundary, picoseconds.
+    pub t_ps: u64,
+    /// Link id (stable across shard counts).
+    pub link: u32,
+    /// True only for the synthetic end-of-measurement row.
+    pub closing: bool,
+    /// Raw link utilization `Lu` for this window (Eq. 10).
+    pub lu: f64,
+    /// The predictor's smoothed utilization (sliding mean of Eq. 11 or
+    /// EWMA), i.e. the value the threshold comparison actually used.
+    pub lu_avg: f64,
+    /// Downstream buffer utilization `Bu` (DVS policy only; 0 otherwise).
+    pub bu: f64,
+    /// Bit rate the link is running at, Gb/s.
+    pub rate_gbps: f64,
+    /// Electrical power currently drawn, mW (0 when power-gated off).
+    pub power_mw: f64,
+    /// Energy accrued since this link's previous row, nJ. Summing this
+    /// column over all rows yields the run's total measured energy.
+    pub energy_nj: f64,
+    /// Component-level §2 power breakdown at the link's current operating
+    /// point, mW, in the order named by [`TelemetryReport::components`].
+    /// Note: for an on/off-gated link this is the breakdown at the
+    /// *operating point*, while `power_mw` reflects gating (0 when off).
+    pub components_mw: Vec<f64>,
+}
+
+/// End-of-run counters. Every field is a sum over state the simulator
+/// keeps anyway; collection costs one pass at report time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Discrete events processed by the engine. **Shard-dependent**: core
+    /// ticks and laser decisions are replicated per shard replica, so this
+    /// is excluded from exported traces (which must be shard-invariant).
+    pub events: u64,
+    /// Packets delivered to sinks during measurement and warmup.
+    pub packets_delivered: u64,
+    /// Packets dropped (all flits lost to faults).
+    pub packets_dropped: u64,
+    /// Flits injected at sources.
+    pub flits_injected: u64,
+    /// Flits dropped at sinks.
+    pub flits_dropped: u64,
+    /// Corrupted flits detected and dropped at sinks (BER model, §2.2.1).
+    pub flits_corrupted: u64,
+    /// Flits that completed traversal of some link.
+    pub flits_sent: u64,
+    /// Switch allocations won (flits that traversed a crossbar).
+    pub alloc_won: u64,
+    /// Switch allocation requests denied (link busy or lost arbitration).
+    pub alloc_lost: u64,
+    /// Rate-ladder transitions actually applied to links.
+    pub rate_changes: u64,
+    /// DVS policy windows in which a controller made a decision (§3.3).
+    pub dvs_decisions: u64,
+    /// DVS decisions to step the bit rate up.
+    pub dvs_ups: u64,
+    /// DVS decisions to step the bit rate down.
+    pub dvs_downs: u64,
+    /// On/off policy: links gated off.
+    pub onoff_sleeps: u64,
+    /// On/off policy: links woken (each pays the relock penalty).
+    pub onoff_wakes: u64,
+    /// Laser source controller: expedited power increases (`Pinc`, §3.2).
+    pub laser_pincs: u64,
+    /// Laser source controller: lazy power decreases (`Pdec`, §3.2).
+    pub laser_pdecs: u64,
+    /// Link-fault events injected by the fault plan.
+    pub faults_injected: u64,
+}
+
+/// A complete telemetry record for one run, embedded in `RunResult` and
+/// exportable as schema-versioned JSONL or CSV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Trace schema version ([`TRACE_SCHEMA`]).
+    pub schema: String,
+    /// Policy window length in router cycles (`Tw`).
+    pub tw_cycles: u64,
+    /// Number of links in the network.
+    pub links: u32,
+    /// Component names, in `components_mw` column order.
+    pub components: Vec<String>,
+    /// Per-link window series, sorted by `(t_ps, link)`.
+    pub rows: Vec<LinkWindowRow>,
+    /// End-of-run counters (empty/default if `counters` was off).
+    pub counters: MetricsRegistry,
+    /// End-of-measurement time, picoseconds.
+    pub end_t_ps: u64,
+    /// Total measured energy, nJ (the same number `RunResult` reports).
+    pub energy_nj: f64,
+}
+
+/// Shortest-round-trip float text, matching the vendored `serde_json`
+/// printer so traces and `RunResult` JSON agree bit-for-bit.
+fn f(x: f64) -> String {
+    format!("{x:?}")
+}
+
+impl TelemetryReport {
+    /// Renders the report as JSON Lines: a `header` record, one `window`
+    /// record per row, a `counters` record, and an `end` record.
+    ///
+    /// The `events` counter is deliberately omitted: it depends on the
+    /// shard count (replicated tick events), and exported traces are
+    /// required to be byte-identical across shard counts.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"kind\":\"header\",\"schema\":\"{}\",\"tw_cycles\":{},\"links\":{},\"components\":[{}]}}\n",
+            self.schema,
+            self.tw_cycles,
+            self.links,
+            self.components
+                .iter()
+                .map(|c| format!("\"{c}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{{\"kind\":\"window\",\"cycle\":{},\"t_ps\":{},\"link\":{},\"closing\":{},\"lu\":{},\"lu_avg\":{},\"bu\":{},\"rate_gbps\":{},\"power_mw\":{},\"energy_nj\":{},\"components_mw\":[{}]}}\n",
+                r.cycle,
+                r.t_ps,
+                r.link,
+                r.closing,
+                f(r.lu),
+                f(r.lu_avg),
+                f(r.bu),
+                f(r.rate_gbps),
+                f(r.power_mw),
+                f(r.energy_nj),
+                r.components_mw.iter().map(|&c| f(c)).collect::<Vec<_>>().join(",")
+            ));
+        }
+        let c = &self.counters;
+        out.push_str(&format!(
+            "{{\"kind\":\"counters\",\"packets_delivered\":{},\"packets_dropped\":{},\"flits_injected\":{},\"flits_dropped\":{},\"flits_corrupted\":{},\"flits_sent\":{},\"alloc_won\":{},\"alloc_lost\":{},\"rate_changes\":{},\"dvs_decisions\":{},\"dvs_ups\":{},\"dvs_downs\":{},\"onoff_sleeps\":{},\"onoff_wakes\":{},\"laser_pincs\":{},\"laser_pdecs\":{},\"faults_injected\":{}}}\n",
+            c.packets_delivered,
+            c.packets_dropped,
+            c.flits_injected,
+            c.flits_dropped,
+            c.flits_corrupted,
+            c.flits_sent,
+            c.alloc_won,
+            c.alloc_lost,
+            c.rate_changes,
+            c.dvs_decisions,
+            c.dvs_ups,
+            c.dvs_downs,
+            c.onoff_sleeps,
+            c.onoff_wakes,
+            c.laser_pincs,
+            c.laser_pdecs,
+            c.faults_injected,
+        ));
+        out.push_str(&format!(
+            "{{\"kind\":\"end\",\"t_ps\":{},\"energy_nj\":{}}}\n",
+            self.end_t_ps,
+            f(self.energy_nj)
+        ));
+        out
+    }
+
+    /// Renders the window series as CSV (no counters; use JSONL for the
+    /// full record). The header names the component columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cycle,t_ps,link,closing,lu,lu_avg,bu,rate_gbps,power_mw,energy_nj");
+        for c in &self.components {
+            out.push_str(&format!(",{}_mw", c.replace(' ', "_").to_lowercase()));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}",
+                r.cycle,
+                r.t_ps,
+                r.link,
+                r.closing,
+                f(r.lu),
+                f(r.lu_avg),
+                f(r.bu),
+                f(r.rate_gbps),
+                f(r.power_mw),
+                f(r.energy_nj),
+            ));
+            for &c in &r.components_mw {
+                out.push(',');
+                out.push_str(&f(c));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Sum of the `energy_nj` column — telescopes to [`Self::energy_nj`]
+    /// (within float-summation noise; the acceptance bound is 1e-9
+    /// relative).
+    pub fn rows_energy_nj(&self) -> f64 {
+        self.rows.iter().map(|r| r.energy_nj).sum()
+    }
+}
+
+/// Per-run (or per-shard) recording state. Rows accumulate here during the
+/// run; [`crate::PowerAwareSim::take_telemetry_report`] turns the merged
+/// collector into a [`TelemetryReport`].
+#[derive(Debug, Clone)]
+pub(crate) struct TelemetryCollector {
+    /// What to record.
+    pub config: TelemetryConfig,
+    /// False during warmup; `begin_measurement` flips it on.
+    pub active: bool,
+    /// Window rows recorded so far (per-shard local until merge).
+    pub rows: Vec<LinkWindowRow>,
+    /// Per-link energy at the previous row, for delta computation.
+    pub last_energy_nj: Vec<f64>,
+}
+
+impl TelemetryCollector {
+    pub fn new(config: TelemetryConfig, links: usize) -> Self {
+        TelemetryCollector {
+            config,
+            active: false,
+            rows: Vec::new(),
+            last_energy_nj: vec![0.0; links],
+        }
+    }
+
+    /// Arms recording and zeroes the energy baselines; called by
+    /// `begin_measurement` so warmup windows are not recorded.
+    pub fn reset(&mut self) {
+        self.active = true;
+        self.rows.clear();
+        for e in &mut self.last_energy_nj {
+            *e = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        TelemetryReport {
+            schema: TRACE_SCHEMA.to_string(),
+            tw_cycles: 200,
+            links: 2,
+            components: vec!["VCSEL".to_string(), "CDR".to_string()],
+            rows: vec![
+                LinkWindowRow {
+                    cycle: 200,
+                    t_ps: 31_840,
+                    link: 0,
+                    closing: false,
+                    lu: 0.5,
+                    lu_avg: 0.25,
+                    bu: 0.1,
+                    rate_gbps: 10.0,
+                    power_mw: 290.0,
+                    energy_nj: 9.2336,
+                    components_mw: vec![17.0, 150.0],
+                },
+                LinkWindowRow {
+                    cycle: 400,
+                    t_ps: 63_840,
+                    link: 0,
+                    closing: true,
+                    lu: 0.0,
+                    lu_avg: 0.0,
+                    bu: 0.0,
+                    rate_gbps: 5.0,
+                    power_mw: 60.0,
+                    energy_nj: 1.5,
+                    components_mw: vec![8.5, 18.75],
+                },
+            ],
+            counters: MetricsRegistry {
+                events: 12,
+                packets_delivered: 3,
+                ..MetricsRegistry::default()
+            },
+            end_t_ps: 63_840,
+            energy_nj: 10.7336,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_version() {
+        let rep = sample_report();
+        let text = rep.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        // header + windows + counters + end
+        assert_eq!(lines.len(), 3 + rep.rows.len());
+        assert!(lines[0].contains("\"schema\":\"lumen-trace/1\""));
+        for line in &lines {
+            let v: serde::Value = serde_json::from_str(line).expect("valid JSON line");
+            match v {
+                serde::Value::Map(_) => {}
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+        // The shard-dependent event counter must not leak into the trace.
+        assert!(!text.contains("\"events\""));
+        assert!(lines.last().unwrap().contains("\"kind\":\"end\""));
+    }
+
+    #[test]
+    fn csv_has_component_columns_and_rows() {
+        let rep = sample_report();
+        let csv = rep.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.ends_with("vcsel_mw,cdr_mw"), "{header}");
+        assert_eq!(lines.count(), rep.rows.len());
+    }
+
+    #[test]
+    fn rows_energy_telescopes() {
+        let rep = sample_report();
+        assert!((rep.rows_energy_nj() - rep.energy_nj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rep = sample_report();
+        let s = serde_json::to_string(&rep).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn config_enabled() {
+        assert!(!TelemetryConfig::default().enabled());
+        assert!(TelemetryConfig::full().enabled());
+        assert!(TelemetryConfig {
+            counters: true,
+            link_series: false
+        }
+        .enabled());
+    }
+
+    #[test]
+    fn collector_reset_arms_and_clears() {
+        let mut c = TelemetryCollector::new(TelemetryConfig::full(), 3);
+        assert!(!c.active);
+        c.rows.push(sample_report().rows[0].clone());
+        c.last_energy_nj[1] = 4.0;
+        c.reset();
+        assert!(c.active);
+        assert!(c.rows.is_empty());
+        assert_eq!(c.last_energy_nj, vec![0.0; 3]);
+    }
+}

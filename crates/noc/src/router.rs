@@ -155,6 +155,11 @@ pub struct Router {
     /// `flits_accepted == flits_switched + buffered` holds at every event
     /// boundary (checked by the conservation auditor).
     pub flits_accepted: u64,
+    /// Switch-allocation requests denied over its lifetime: a requester
+    /// whose output link was mid-rate-change, that lost arbitration, or
+    /// was crossbar/credit-ineligible. A flit requests once per cycle
+    /// until granted, so this counts request-cycles, not distinct flits.
+    pub sa_denials: u64,
     // Fast-path counters: flits buffered and VCs not in Idle. When both
     // are zero the router has nothing to do this cycle.
     buffered_flits: u32,
@@ -192,6 +197,7 @@ impl Router {
             scratch_routes: Vec::with_capacity(3),
             flits_switched: 0,
             flits_accepted: 0,
+            sa_denials: 0,
             buffered_flits: 0,
             active_vcs: 0,
             sa_ready: SlotSet::new(slots),
@@ -275,6 +281,9 @@ impl Router {
             };
             links[link_id.index()].note_demand();
             if !links[link_id.index()].ready_at(st_time) {
+                // Link busy serializing or relocking: every requester for
+                // this output port loses the cycle.
+                self.sa_denials += req_mask.count_ones() as u64;
                 continue;
             }
             // An input port already granted this cycle (crossbar conflict)
@@ -295,6 +304,9 @@ impl Router {
                 eligible |= (ok as u64) << req;
             }
             let Some(req) = self.outputs[op].sa_arbiter.grant_masked(eligible) else {
+                // Nothing eligible (crossbar conflicts or exhausted
+                // credits): all requesters lose.
+                self.sa_denials += req_mask.count_ones() as u64;
                 continue;
             };
             let (ip, vc) = (req / vcs, VcId((req % vcs) as u8));
@@ -307,6 +319,8 @@ impl Router {
                 .expect("eligibility mask admitted an empty VC");
             self.outputs[op].credits[out_vc.0 as usize] -= 1;
             self.flits_switched += 1;
+            // One requester won; its co-requesters for this port lost.
+            self.sa_denials += (req_mask.count_ones() - 1) as u64;
             self.buffered_flits -= 1;
             if self.inputs[ip].buffer.is_empty(vc) {
                 // Last buffered flit left; the VC stops requesting the

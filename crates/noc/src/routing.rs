@@ -21,7 +21,7 @@ pub enum RoutingAlgorithm {
     /// westward hops are taken first and deterministically; afterwards the
     /// router may choose adaptively among the remaining minimal
     /// directions. Deadlock-free on meshes with wormhole flow control.
-    /// The paper's related work (its ref. [25]) studies exactly this
+    /// The paper's related work (its ref. \[25\]) studies exactly this
     /// adaptivity axis under bursty traffic.
     WestFirst,
 }

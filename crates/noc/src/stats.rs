@@ -184,4 +184,75 @@ mod tests {
         assert!(snap.injection.flits_sent >= 2);
         assert!(snap.packets_delivered >= 1);
     }
+
+    #[test]
+    fn snapshot_of_single_rack_mesh_has_no_mesh_links() {
+        // A 1×1 mesh has no inter-router links at all: the mesh class must
+        // report clean zeros (not NaN means or infinite minima) and the
+        // Display impl must stay well-formed.
+        let mut config = NocConfig::small_for_tests();
+        config.width = 1;
+        config.height = 1;
+        let net = Network::new(&config);
+        let snap = NetworkSnapshot::take(&net);
+        assert_eq!(snap.mesh.count, 0);
+        assert_eq!(snap.mesh.mean_rate_gbps, 0.0);
+        assert_eq!(snap.mesh.min_rate_gbps, 0.0);
+        assert_eq!(snap.mesh.max_rate_gbps, 0.0);
+        assert_eq!(snap.mesh.flits_sent, 0);
+        assert!(snap.mesh.mean_rate_gbps.is_finite());
+        assert_eq!(snap.injection.count, config.nodes_per_rack as usize);
+        let text = snap.to_string();
+        assert!(text.contains("0 links @ 0.00 Gb/s"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_under_saturated_buffers() {
+        // Starve the credit loop: deliver flits but drop every credit
+        // return, so each injection link can send exactly one buffer's
+        // worth (depth × vcs) before stalling. The snapshot must show the
+        // stall — capped flits_sent, flits backlogged at the source — and
+        // never double-count the stuck flits.
+        let config = NocConfig::small_for_tests();
+        let mut net = Network::new(&config);
+        let cap = config.buffer_depth as u64 * config.vcs as u64;
+        // 5 four-flit packets: 20 flits, far more than one buffer (4).
+        for p in 0..5u64 {
+            net.inject(Packet::new(
+                PacketId(p + 1),
+                NodeId(0),
+                NodeId(3),
+                4,
+                Picos::ZERO,
+            ));
+        }
+        let mut effects = Vec::new();
+        for c in 0..200u64 {
+            net.tick(Picos::from_ps(c * 1600), &mut effects);
+            for eff in std::mem::take(&mut effects) {
+                match eff {
+                    crate::network::Effect::Flit { link, vc, flit, at } => {
+                        net.flit_arrived(at, link, vc, flit, &mut effects)
+                    }
+                    // Dropped: upstream never regains credit.
+                    crate::network::Effect::Credit { .. } => {}
+                    crate::network::Effect::Ejected { .. } => {}
+                }
+            }
+        }
+        let snap = NetworkSnapshot::take(&net);
+        assert_eq!(
+            snap.injection.flits_sent, cap,
+            "a credit-starved injection link sends exactly one buffer"
+        );
+        assert!(
+            snap.source_backlog >= 20 - cap as usize,
+            "unsendable flits stay queued at the source, got {}",
+            snap.source_backlog
+        );
+        // The initial credit allowance can carry the very first packet all
+        // the way through; everything after it is wedged.
+        assert!(snap.packets_delivered <= 1, "{}", snap.packets_delivered);
+        assert_eq!(snap.packets_dropped, 0);
+    }
 }

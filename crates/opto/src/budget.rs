@@ -69,7 +69,7 @@ pub struct LinkBudget {
     fiber_loss: Decibels,
     connector_loss: Decibels,
     /// Transmitter-to-fiber coupling loss (large for free-space/unlensed
-    /// VCSEL paths, per the paper's power-minimization reference [10]).
+    /// VCSEL paths, per the paper's power-minimization reference \[10\]).
     coupling_loss: Decibels,
     eye: EyeAnalysis,
 }
@@ -91,7 +91,7 @@ impl LinkBudget {
     }
 
     /// The paper's VCSEL path: on-board laser → 12 dB free-space/coupling
-    /// loss (the budget regime of the paper's ref. [10], which assumes
+    /// loss (the budget regime of the paper's ref. \[10\], which assumes
     /// ~25 µW reaching a 10 Gb/s receiver) → 1 dB fiber + 1 dB
     /// connectors → paper receiver.
     pub fn paper_vcsel() -> Self {

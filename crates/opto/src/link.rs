@@ -159,6 +159,31 @@ impl CalibratedComponent {
 
 /// A whole link's calibrated power model: transmitter + receiver component
 /// stack, anchored at a calibration operating point.
+///
+/// # Example
+///
+/// Evaluate the paper's Table 2 VCSEL link at full rate and at a scaled
+/// operating point, and split the total into per-component terms (the
+/// breakdown the `lumen-core` telemetry trace exports every window):
+///
+/// ```
+/// use lumen_opto::link::OperatingPoint;
+/// use lumen_opto::presets::paper_vcsel_link;
+///
+/// let model = paper_vcsel_link();
+/// let full = model.max_power();
+/// let scaled = model.power(OperatingPoint::paper_at_gbps(2.5));
+/// // Rate + voltage scaling shrinks link power super-linearly (V²B terms
+/// // dominate at the top of the ladder), but never to zero: the
+/// // receiver's bias-style terms scale weakly (paper §2.3).
+/// assert!(scaled.as_mw() < 0.25 * full.as_mw());
+/// assert!(scaled.as_mw() > 0.01 * full.as_mw());
+///
+/// // The component breakdown always sums back to the total.
+/// let parts = model.breakdown(model.calibration());
+/// let sum: f64 = parts.iter().map(|(_, p)| p.as_mw()).sum();
+/// assert!((sum - full.as_mw()).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkPowerModel {
     transmitter: TransmitterKind,

@@ -20,7 +20,7 @@
 //! supply (a 1-bit applies `Vbias − Vdd`, a 0-bit applies `Vbias`).
 //!
 //! Crucially for power-aware operation, lowering the driver supply shrinks
-//! the voltage swing, which collapses the contrast ratio (paper ref. [7]) —
+//! the voltage swing, which collapses the contrast ratio (paper ref. \[7\]) —
 //! so the modulator driver is only *bit-rate* scaled, never voltage scaled.
 //! [`MqwModulator::contrast_at_swing`] models that degradation.
 
@@ -80,7 +80,7 @@ impl MqwModulator {
     }
 
     /// A strained InGaAs/InAlAs MQW modulator in the spirit of the paper's
-    /// reference [7]: ~1 dB on-state loss (≈20%), 10:1 contrast at a 1.8 V
+    /// reference \[7\]: ~1 dB on-state loss (≈20%), 10:1 contrast at a 1.8 V
     /// swing, 0.8 A/W conversion.
     pub fn ingaas_10g() -> Self {
         MqwModulator::new(0.2, 10.0, 0.8, Volts::from_v(2.5), Volts::from_v(1.8), 0.3e-12)
@@ -140,7 +140,7 @@ impl MqwModulator {
     /// The contrast ratio achieved at a reduced driver swing.
     ///
     /// Electro-absorption contrast falls off steeply as the swing shrinks
-    /// (paper ref. [7]); we model extinction in dB as proportional to swing,
+    /// (paper ref. \[7\]); we model extinction in dB as proportional to swing,
     /// which makes the linear contrast ratio collapse exponentially — this
     /// is why the paper keeps the modulator driver's supply fixed.
     pub fn contrast_at_swing(&self, swing: Volts) -> f64 {

@@ -98,7 +98,7 @@ impl Predictor {
 }
 
 /// Which power-management discipline the links run (paper §3.3 vs the
-/// on/off alternative of its ref. [26]).
+/// on/off alternative of its ref. \[26\]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum PolicyMode {
     /// The paper's DVS bit-rate ladder with Table-1 thresholds.
@@ -138,7 +138,7 @@ impl PolicyConfig {
         }
     }
 
-    /// Switches to the on/off gating discipline of the paper's ref. [26].
+    /// Switches to the on/off gating discipline of the paper's ref. \[26\].
     pub fn with_onoff(mut self, onoff: OnOffConfig) -> Self {
         self.mode = PolicyMode::OnOff(onoff);
         self

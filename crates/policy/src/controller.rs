@@ -76,6 +76,31 @@ impl Transition {
 }
 
 /// The per-link policy controller.
+///
+/// # Example
+///
+/// An idle window drives the averaged utilization below `TL`, so the
+/// controller plans a one-level step down with the paper's
+/// frequency-before-voltage choreography:
+///
+/// ```
+/// use lumen_desim::{ClockDomain, Picos};
+/// use lumen_policy::{LinkPolicyController, PolicyConfig};
+///
+/// let config = PolicyConfig::paper_default();
+/// let cycle = ClockDomain::router_core().period();
+/// let top = config.ladder.top_level();
+/// let mut c = LinkPolicyController::new(&config, cycle, top);
+///
+/// let t = c.on_window(Picos::ZERO, 0.0, 0.0).expect("idle link steps down");
+/// assert_eq!(t.to_level, top - 1);
+/// // Down: the frequency hops immediately; the voltage saving lands later.
+/// assert_eq!(t.rate_change_at, Picos::ZERO);
+/// assert!(t.final_at > Picos::ZERO);
+/// // The smoothed utilization the decision used is exposed for telemetry.
+/// assert_eq!(c.last_predicted(), 0.0);
+/// assert!(c.in_transition());
+/// ```
 #[derive(Debug, Clone)]
 pub struct LinkPolicyController {
     ladder: BitRateLadder,
@@ -87,6 +112,7 @@ pub struct LinkPolicyController {
     sliding: SlidingWindow,
     predictor: Predictor,
     ewma: Option<f64>,
+    last_predicted: f64,
     in_transition: bool,
     pinned: bool,
     /// Window decisions taken (including holds).
@@ -122,6 +148,7 @@ impl LinkPolicyController {
             sliding: SlidingWindow::new(config.timing.n_windows),
             predictor: config.predictor,
             ewma: None,
+            last_predicted: 0.0,
             in_transition: false,
             pinned: false,
             decisions: 0,
@@ -155,6 +182,16 @@ impl LinkPolicyController {
         self.in_transition
     }
 
+    /// The predictor's smoothed utilization from the most recent window —
+    /// the sliding mean of Eq. 11 or the EWMA blend, whichever the config
+    /// selected. Updated on every window (including windows spent in
+    /// transition or pinned by a fault); 0.0 before any window. This is
+    /// the value the threshold comparison used, exported per window by
+    /// `lumen-core` telemetry as the `lu_avg` column.
+    pub fn last_predicted(&self) -> f64 {
+        self.last_predicted
+    }
+
     /// The raw threshold decision for a given averaged utilization and
     /// buffer utilization (exposed for analysis and tests).
     pub fn classify(&self, lu_avg: f64, bu: f64) -> RateDecision {
@@ -184,6 +221,7 @@ impl LinkPolicyController {
                 next
             }
         };
+        self.last_predicted = predicted;
         if self.in_transition || self.pinned {
             // Pinned (fault response) windows still feed the predictor so
             // demand history is warm when the link is released, but the

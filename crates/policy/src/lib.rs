@@ -22,7 +22,7 @@
 //!   `Pinc` (rate increases wait for light) and lazy `Pdec`.
 //!
 //! - [`onoff::OnOffController`] — the *alternative* discipline the paper
-//!   compares against (its ref. [26]): links at full rate, gated
+//!   compares against (its ref. \[26\]): links at full rate, gated
 //!   completely off when idle, woken on demand with a lock penalty.
 //!
 //! The crate is deliberately independent of the network simulator: the
@@ -30,7 +30,7 @@
 //! [`laser::LaserUpdate`] plans that `lumen-core` applies to the network.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod controller;

@@ -1,5 +1,5 @@
 //! On/off link power gating — the alternative power-aware discipline the
-//! paper positions itself against (its ref. [26], Soteriou & Peh,
+//! paper positions itself against (its ref. \[26\], Soteriou & Peh,
 //! "Design-space exploration of power-aware on/off interconnection
 //! networks").
 //!
@@ -37,7 +37,7 @@ pub struct OnOffConfig {
 }
 
 impl OnOffConfig {
-    /// Parameters in the spirit of the paper's ref. [26]: links wake in
+    /// Parameters in the spirit of the paper's ref. \[26\]: links wake in
     /// ~1000 cycles and draw nothing while off.
     pub fn reference_default() -> Self {
         OnOffConfig {

@@ -18,7 +18,7 @@
 //!   proprietary, so we synthesize traffic with the same temporal variance
 //!   structure the paper describes).
 //! - [`selfsimilar`] — Pareto ON/OFF long-range-dependent traffic in the
-//!   spirit of the paper's ref. [14] (Leland et al.), for stressing the
+//!   spirit of the paper's ref. \[14\] (Leland et al.), for stressing the
 //!   policies with burstiness that persists across timescales.
 //! - [`trace`] — serde-backed record/replay.
 

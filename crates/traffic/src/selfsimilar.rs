@@ -2,7 +2,7 @@
 //!
 //! The paper's motivation leans on the observation that "real-life network
 //! traffic exhibits substantial temporal and spatial variance", citing
-//! Leland et al.'s classic self-similar Ethernet study (its ref. [14]).
+//! Leland et al.'s classic self-similar Ethernet study (its ref. \[14\]).
 //! This module provides a generator in that spirit: each node is an
 //! independent ON/OFF source whose sojourn times are Pareto-distributed
 //! with infinite variance (`1 < α < 2`). The superposition of many such

@@ -5,7 +5,7 @@
 //!
 //! - the [`proptest!`] macro (with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
-//! - numeric [`Range`](std::ops::Range) strategies (`0u64..1000`,
+//! - numeric [`std::ops::Range`] strategies (`0u64..1000`,
 //!   `-1e6f64..1e6`, ...),
 //! - [`collection::vec`] for vectors with a size range,
 //! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
@@ -130,7 +130,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
