@@ -59,6 +59,13 @@ pub struct BenchArgs {
     /// leaves telemetry off entirely; a `.csv` suffix selects CSV, any
     /// other suffix JSON Lines (see OBSERVABILITY.md for the schema).
     pub trace: Option<String>,
+    /// Fabric geometry override (`--topology mesh|torus|folded-clos[:S]`,
+    /// default `None` = keep each harness's configured topology — the
+    /// paper's mesh for the figure/table harnesses). `folded-clos`
+    /// defaults to 4 spine routers; `folded-clos:S` selects `S`. Only
+    /// harnesses that call [`BenchArgs::apply_topology`] honour it; see
+    /// TOPOLOGIES.md for what each geometry means.
+    pub topology: Option<TopologyKind>,
 }
 
 impl BenchArgs {
@@ -91,6 +98,7 @@ impl BenchArgs {
         let mut jobs = Executor::available().jobs();
         let mut shards = 1usize;
         let mut trace = None;
+        let mut topology = None;
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -114,6 +122,12 @@ impl BenchArgs {
                         .ok_or_else(|| ParseOutcome::Error("`--trace` needs a path".into()))?;
                     trace = Some(parse_trace(value)?);
                 }
+                "--topology" => {
+                    let value = it.next().ok_or_else(|| {
+                        ParseOutcome::Error("`--topology` needs a geometry name".into())
+                    })?;
+                    topology = Some(parse_topology(value)?);
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--jobs=") {
                         jobs = parse_jobs(value)?;
@@ -121,6 +135,8 @@ impl BenchArgs {
                         shards = parse_shards(value)?;
                     } else if let Some(value) = other.strip_prefix("--trace=") {
                         trace = Some(parse_trace(value)?);
+                    } else if let Some(value) = other.strip_prefix("--topology=") {
+                        topology = Some(parse_topology(value)?);
                     } else {
                         return Err(ParseOutcome::Error(format!("unknown flag `{other}`")));
                     }
@@ -132,7 +148,23 @@ impl BenchArgs {
             jobs,
             shards,
             trace,
+            topology,
         })
+    }
+
+    /// Applies the `--topology` override (if any) to a NoC configuration,
+    /// returning whether it changed. Harnesses that support alternative
+    /// geometries call this on each scenario's config; harnesses pinned
+    /// to the paper's mesh simply never call it, and the flag parses but
+    /// has no effect there (their banner output stays comparable).
+    pub fn apply_topology(&self, noc: &mut NocConfig) -> bool {
+        match self.topology {
+            Some(kind) if noc.topology != kind => {
+                noc.topology = kind;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The telemetry configuration implied by the flags: full recording
@@ -158,7 +190,7 @@ impl BenchArgs {
     /// The usage text shared by every harness binary.
     pub fn usage() -> String {
         format!(
-            "usage: <harness> [--quick] [--jobs N] [--shards N] [--trace PATH] [--help]\n\
+            "usage: <harness> [--quick] [--jobs N] [--shards N] [--trace PATH] [--topology T] [--help]\n\
              \n\
              options:\n\
              \x20 --quick          ~10x shorter horizons (smoke/CI runs)\n\
@@ -171,6 +203,9 @@ impl BenchArgs {
              \x20 --trace PATH     record per-link telemetry for every point\n\
              \x20                  and write a merged trace (JSONL; CSV if\n\
              \x20                  PATH ends in .csv) — see OBSERVABILITY.md\n\
+             \x20 --topology T     fabric geometry for harnesses that\n\
+             \x20                  support it: mesh, torus, or\n\
+             \x20                  folded-clos[:spines] (see TOPOLOGIES.md)\n\
              \x20 --help, -h       show this message",
             Executor::available().jobs()
         )
@@ -201,6 +236,25 @@ fn parse_shards(value: &str) -> Result<usize, ParseOutcome> {
         _ => Err(ParseOutcome::Error(format!(
             "`--shards` needs a positive integer, got `{value}`"
         ))),
+    }
+}
+
+fn parse_topology(value: &str) -> Result<TopologyKind, ParseOutcome> {
+    match value {
+        "mesh" => Ok(TopologyKind::Mesh),
+        "torus" => Ok(TopologyKind::Torus),
+        "folded-clos" => Ok(TopologyKind::FoldedClos { spines: 4 }),
+        other => {
+            if let Some(spec) = other.strip_prefix("folded-clos:") {
+                match spec.parse::<u8>() {
+                    Ok(spines) if spines >= 1 => return Ok(TopologyKind::FoldedClos { spines }),
+                    _ => {}
+                }
+            }
+            Err(ParseOutcome::Error(format!(
+                "`--topology` needs mesh, torus, or folded-clos[:spines], got `{other}`"
+            )))
+        }
     }
 }
 
@@ -378,7 +432,41 @@ mod tests {
         assert_eq!(a.jobs, Executor::available().jobs());
         assert_eq!(a.shards, 1);
         assert_eq!(a.trace, None);
+        assert_eq!(a.topology, None);
         assert!(!a.telemetry().enabled(), "no --trace, no telemetry cost");
+    }
+
+    #[test]
+    fn args_topology_forms() {
+        for (form, want) in [
+            (argv(&["--topology", "mesh"]), TopologyKind::Mesh),
+            (argv(&["--topology=torus"]), TopologyKind::Torus),
+            (
+                argv(&["--topology", "folded-clos"]),
+                TopologyKind::FoldedClos { spines: 4 },
+            ),
+            (
+                argv(&["--topology=folded-clos:8"]),
+                TopologyKind::FoldedClos { spines: 8 },
+            ),
+        ] {
+            let a = BenchArgs::try_parse(&form).unwrap();
+            assert_eq!(a.topology, Some(want), "{form:?}");
+        }
+    }
+
+    #[test]
+    fn apply_topology_only_changes_when_asked() {
+        let mut noc = lumen_noc::NocConfig::paper_default();
+        let none = BenchArgs::try_parse(&[]).unwrap();
+        assert!(!none.apply_topology(&mut noc));
+        assert_eq!(noc.topology, TopologyKind::Mesh);
+
+        let torus = BenchArgs::try_parse(&argv(&["--topology", "torus"])).unwrap();
+        assert!(torus.apply_topology(&mut noc));
+        assert_eq!(noc.topology, TopologyKind::Torus);
+        // Idempotent: already a torus, nothing to change.
+        assert!(!torus.apply_topology(&mut noc));
     }
 
     #[test]
@@ -443,6 +531,10 @@ mod tests {
             argv(&["--trace"]),
             argv(&["--trace="]),
             argv(&["--trace", "--quick"]),
+            argv(&["--topology"]),
+            argv(&["--topology", "ring"]),
+            argv(&["--topology=folded-clos:0"]),
+            argv(&["--topology=folded-clos:x"]),
             argv(&["extra"]),
         ] {
             match BenchArgs::try_parse(&bad) {
@@ -511,6 +603,7 @@ mod tests {
             jobs: 1,
             shards: 1,
             trace: Some(jsonl.to_str().unwrap().into()),
+            topology: None,
         };
         write_trace(&args, &points, &results);
         let text = std::fs::read_to_string(&jsonl).unwrap();

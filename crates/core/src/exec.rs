@@ -69,7 +69,8 @@ use crate::results::RunResult;
 use crate::runner::{Experiment, ZERO_LOAD_RATE};
 use lumen_desim::Rng;
 use lumen_traffic::{
-    PacketSize, Pattern, RateProfile, SelfSimilarConfig, SelfSimilarSource, SplashApp,
+    DatacenterConfig, DatacenterSource, PacketSize, Pattern, RateProfile, SelfSimilarConfig,
+    SelfSimilarSource, SplashApp,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -97,6 +98,11 @@ pub fn derive_seed(base: u64, stream: u64) -> u64 {
 /// from the experiment's own derived streams (which seed directly from
 /// the per-point seed); any fixed key no submission index can reach works.
 const SELF_SIMILAR_SOURCE_STREAM: u64 = u64::MAX;
+
+/// Stream constant for the [`Workload::Datacenter`] source RNG; distinct
+/// from [`SELF_SIMILAR_SOURCE_STREAM`] and unreachable by submission
+/// indices for the same reason.
+const DATACENTER_SOURCE_STREAM: u64 = u64::MAX - 1;
 
 /// The traffic driven through one experiment point.
 ///
@@ -142,6 +148,12 @@ pub enum Workload {
         pattern: Pattern,
         /// Packet size distribution.
         size: PacketSize,
+    },
+    /// Request/response datacenter traffic with incast bursts, ON/OFF
+    /// flows, and a diurnal ramp (the `ext_datacenter` harness).
+    Datacenter {
+        /// Workload parameters (server split, rates, incast, diurnal).
+        config: DatacenterConfig,
     },
 }
 
@@ -218,6 +230,15 @@ impl Point {
                     pattern.clone(),
                     *size,
                     Rng::seed_from(derive_seed(exp.config().seed, SELF_SIMILAR_SOURCE_STREAM)),
+                );
+                exp.run(Box::new(source))
+            }
+            Workload::Datacenter { config } => {
+                // Same decorrelation as SelfSimilar, on its own stream.
+                let source = DatacenterSource::new(
+                    &exp.config().noc,
+                    *config,
+                    Rng::seed_from(derive_seed(exp.config().seed, DATACENTER_SOURCE_STREAM)),
                 );
                 exp.run(Box::new(source))
             }

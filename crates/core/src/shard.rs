@@ -1,9 +1,12 @@
 //! The sharded conservative-parallel simulation backend.
 //!
-//! [`run_sharded`] partitions the mesh into `S` contiguous row bands
-//! (rack regions), gives each band its own [`PowerAwareSim`] replica and
-//! event calendar on a dedicated worker thread, and synchronizes the
-//! workers on deterministic *barrier windows* one router cycle wide.
+//! [`run_sharded`] partitions the fabric into `S` contiguous router
+//! bands — the cuts come from the topology
+//! ([`Topology::shard_cuts`]; row bands on meshes and tori, leaf bands
+//! on the folded Clos) — gives each band its own [`PowerAwareSim`]
+//! replica and event calendar on a dedicated worker thread, and
+//! synchronizes the workers on deterministic *barrier windows* one
+//! router cycle wide.
 //!
 //! ## Why one cycle of lookahead is safe
 //!
@@ -38,8 +41,8 @@ use crate::config::SystemConfig;
 use crate::sim::{PowerAwareSim, SimEvent};
 use crate::telemetry::TelemetryConfig;
 use lumen_desim::Picos;
-use lumen_noc::ids::{Direction, LinkId, RouterId};
-use lumen_noc::{NocConfig, Packet};
+use lumen_noc::ids::LinkId;
+use lumen_noc::{Channel, NocConfig, Packet, Topology};
 use lumen_policy::PolicyMode;
 use lumen_stats::{Histogram, Summary, TimeSeries};
 use lumen_traffic::TrafficSource;
@@ -51,10 +54,14 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// Delivery keys pack `(launch_cycle << 24) | (shard << 20) | position`;
 /// sorting `(arrival time, key)` reproduces the sequential calendar's
 /// delivery order. 20 bits of position bound ejection launches per shard
-/// per cycle (≤ #ejection links), 4 bits of shard bound the row count.
+/// per cycle (≤ #ejection links), 4 bits of shard bound the shard count.
 pub(crate) const KEY_CYCLE_SHIFT: u64 = 24;
 /// Shard-id field offset within a delivery key (see [`KEY_CYCLE_SHIFT`]).
 pub(crate) const KEY_SHARD_SHIFT: u64 = 20;
+/// Hard shard-count ceiling: the delivery key's shard field is 4 bits,
+/// so even fabrics whose topology offers finer cuts (a 32-row mesh, say)
+/// clamp here.
+pub(crate) const MAX_SHARDS: usize = 16;
 
 // ---------------------------------------------------------------------
 // Process-wide default shard count
@@ -87,20 +94,21 @@ pub fn default_shards() -> usize {
     })
 }
 
-/// The shard count actually usable for a mesh: row-band tiling cannot
-/// split finer than one row per shard.
+/// The shard count actually usable for a fabric: the topology's cut
+/// granularity (one mesh/torus row, one Clos leaf row, per shard),
+/// further clamped to the delivery-key ceiling of `MAX_SHARDS` (16).
 pub fn effective_shards(noc: &NocConfig, requested: usize) -> usize {
-    requested.clamp(1, noc.height as usize)
+    requested.clamp(1, noc.topo().max_shards().min(MAX_SHARDS))
 }
 
 // ---------------------------------------------------------------------
 // Partitioning
 // ---------------------------------------------------------------------
 
-/// One shard's contiguous slice of the system: a band of mesh rows and
-/// everything attached to it. Link ranges are contiguous because the
-/// network builds inter-router links in router order and node links in
-/// node order.
+/// One shard's contiguous slice of the system: a band of routers (from
+/// the topology's cuts) and everything attached to it. Link ranges are
+/// contiguous because the network builds inter-router links grouped by
+/// source router in ascending order and node links in node order.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardSpec {
     pub id: usize,
@@ -119,30 +127,36 @@ impl ShardSpec {
     }
 }
 
-/// Splits the mesh into `requested` (clamped) row bands.
+/// Splits the fabric into `requested` (clamped) contiguous router bands
+/// using the topology's cuts.
 pub(crate) fn partition(noc: &NocConfig, requested: usize) -> Vec<ShardSpec> {
-    let h = noc.height as usize;
-    let w = noc.width as usize;
     let npr = noc.nodes_per_rack as usize;
     let s_count = effective_shards(noc, requested);
-    // Inter-router links are laid out per router in Direction::ALL order;
-    // a prefix sum over router out-degrees maps router ranges to link
-    // ranges exactly as `Network::with_routing` assigned them.
+    let topo = noc.topo();
     let racks = noc.rack_count();
-    let mut prefix = vec![0usize; racks + 1];
-    for r in 0..racks {
-        let coord = noc.coord_of(RouterId(r as u32));
-        let degree = Direction::ALL
-            .iter()
-            .filter(|&&d| coord.neighbor(d, noc.width, noc.height).is_some())
-            .count();
-        prefix[r + 1] = prefix[r] + degree;
+    let routers_total = topo.router_count();
+    // Inter-router links are laid out grouped by source router in
+    // ascending order (the `Topology::channels` contract); a prefix sum
+    // over router out-degrees maps router ranges to link ranges exactly
+    // as `Network::with_routing` assigned them.
+    let mut channels: Vec<Channel> = Vec::new();
+    topo.channels(&mut channels);
+    let mut prefix = vec![0usize; routers_total + 1];
+    for ch in &channels {
+        prefix[ch.from.index() + 1] += 1;
     }
-    let ir_total = prefix[racks];
-    (0..s_count)
-        .map(|s| {
-            let routers = (s * h / s_count) * w..((s + 1) * h / s_count) * w;
-            let nodes = routers.start * npr..routers.end * npr;
+    for r in 0..routers_total {
+        prefix[r + 1] += prefix[r];
+    }
+    let ir_total = prefix[routers_total];
+    debug_assert_eq!(ir_total, channels.len());
+    topo.shard_cuts(s_count)
+        .into_iter()
+        .enumerate()
+        .map(|(s, routers)| {
+            // Node-less routers (Clos spines) sit past the rack prefix,
+            // so clamping to it yields each band's node range.
+            let nodes = routers.start.min(racks) * npr..routers.end.min(racks) * npr;
             let node_links = ir_total + 2 * nodes.start..ir_total + 2 * nodes.end;
             ShardSpec {
                 id: s,
@@ -161,8 +175,8 @@ pub(crate) fn partition(noc: &NocConfig, requested: usize) -> Vec<ShardSpec> {
 /// holding its to-endpoint (flit arrivals, downstream occupancy). They
 /// differ exactly on boundary inter-router links.
 fn ownership(noc: &NocConfig, specs: &[ShardSpec]) -> (Vec<u8>, Vec<u8>) {
-    let racks = noc.rack_count();
-    let mut router_shard = vec![0u8; racks];
+    let topo = noc.topo();
+    let mut router_shard = vec![0u8; topo.router_count()];
     for spec in specs {
         for r in spec.routers.clone() {
             router_shard[r] = spec.id as u8;
@@ -170,15 +184,11 @@ fn ownership(noc: &NocConfig, specs: &[ShardSpec]) -> (Vec<u8>, Vec<u8>) {
     }
     let mut owner = Vec::new();
     let mut to_owner = Vec::new();
-    for r in 0..racks {
-        let coord = noc.coord_of(RouterId(r as u32));
-        for dir in Direction::ALL {
-            let Some(nbr) = coord.neighbor(dir, noc.width, noc.height) else {
-                continue;
-            };
-            owner.push(router_shard[r]);
-            to_owner.push(router_shard[noc.router_at(nbr).index()]);
-        }
+    let mut channels: Vec<Channel> = Vec::new();
+    topo.channels(&mut channels);
+    for ch in &channels {
+        owner.push(router_shard[ch.from.index()]);
+        to_owner.push(router_shard[ch.to.index()]);
     }
     for n in 0..noc.node_count() {
         let s = router_shard[noc.router_of_node(lumen_noc::ids::NodeId(n as u32)).index()];
@@ -513,8 +523,9 @@ pub struct ShardedOutcome {
     pub events: u64,
 }
 
-/// Runs the system on `shards` worker threads (clamped to the mesh
-/// height; 1 runs the sequential engine verbatim), producing results
+/// Runs the system on `shards` worker threads (clamped to the
+/// topology's cut granularity and `MAX_SHARDS` (16); 1 runs the sequential
+/// engine verbatim), producing results
 /// bit-identical to [`PowerAwareSim::build_engine`] driven sequentially
 /// over the same warmup/measure schedule.
 pub fn run_sharded(

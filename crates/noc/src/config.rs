@@ -2,6 +2,7 @@
 
 use crate::ids::{NodeId, RackCoord, RouterId};
 use crate::routing::RoutingAlgorithm;
+use crate::topology::{BuiltinTopology, Topology, TopologyKind};
 use lumen_desim::{ClockDomain, Picos};
 use lumen_opto::Gbps;
 use serde::{Deserialize, Serialize};
@@ -11,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Defaults ([`NocConfig::paper_default`]) follow the paper's evaluation
 /// setup: an 8×8 mesh of racks, 8 nodes per rack, 625 MHz routers, 16-flit
 /// input buffers, 16-bit flits, 10 Gb/s maximum link rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct NocConfig {
     /// Mesh width in racks.
     pub width: u8,
@@ -35,6 +36,44 @@ pub struct NocConfig {
     pub credit_delay: Picos,
     /// Routing discipline for the mesh.
     pub routing: RoutingAlgorithm,
+    /// Fabric shape (defaults to the paper's mesh; see
+    /// [`crate::topology`]). `width`/`height`/`nodes_per_rack` above
+    /// parameterize whichever topology is selected.
+    pub topology: TopologyKind,
+}
+
+// Hand-written so configurations serialized before the `topology` field
+// existed still deserialize (missing field → mesh). The vendored serde
+// facade has no `#[serde(default)]`.
+impl Deserialize for NocConfig {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "NocConfig"))?;
+        fn field<T: Deserialize>(
+            map: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            Deserialize::deserialize_value(serde::map_field(map, name, "NocConfig")?)
+        }
+        Ok(NocConfig {
+            width: field(map, "width")?,
+            height: field(map, "height")?,
+            nodes_per_rack: field(map, "nodes_per_rack")?,
+            buffer_depth: field(map, "buffer_depth")?,
+            vcs: field(map, "vcs")?,
+            flit_bits: field(map, "flit_bits")?,
+            max_rate: field(map, "max_rate")?,
+            core_clock: field(map, "core_clock")?,
+            propagation: field(map, "propagation")?,
+            credit_delay: field(map, "credit_delay")?,
+            routing: field(map, "routing")?,
+            topology: match map.iter().find(|(k, _)| k == "topology") {
+                Some((_, v)) => Deserialize::deserialize_value(v)?,
+                None => TopologyKind::default(),
+            },
+        })
+    }
 }
 
 impl NocConfig {
@@ -55,11 +94,28 @@ impl NocConfig {
             propagation: Picos::from_ps(3200),
             credit_delay: Picos::from_ps(1600),
             routing: RoutingAlgorithm::XY,
+            topology: TopologyKind::Mesh,
         }
     }
 
-    /// A small 2×2 mesh with 2 nodes per rack for unit tests.
+    /// A small 2×2 fabric with 2 nodes per rack for unit tests.
+    ///
+    /// The topology honors `LUMEN_TEST_TOPOLOGY` (`mesh` or `torus`, read
+    /// once per process) so the whole tier-1 suite can be replayed on a
+    /// torus; [`NocConfig::paper_default`] always stays a mesh because
+    /// the paper's pinned link counts and results depend on it.
     pub fn small_for_tests() -> Self {
+        use std::sync::OnceLock;
+        static ENV: OnceLock<TopologyKind> = OnceLock::new();
+        let topology = *ENV.get_or_init(|| {
+            match std::env::var("LUMEN_TEST_TOPOLOGY").as_deref() {
+                Ok("torus") => TopologyKind::Torus,
+                Ok("mesh") | Ok("") | Err(_) => TopologyKind::Mesh,
+                Ok(other) => panic!(
+                    "unknown LUMEN_TEST_TOPOLOGY {other:?} (expected \"mesh\" or \"torus\")"
+                ),
+            }
+        });
         NocConfig {
             width: 2,
             height: 2,
@@ -72,6 +128,7 @@ impl NocConfig {
             propagation: Picos::from_ps(1600),
             credit_delay: Picos::from_ps(1600),
             routing: RoutingAlgorithm::XY,
+            topology,
         }
     }
 
@@ -91,15 +148,27 @@ impl NocConfig {
         );
         assert!(self.flit_bits >= 1, "flits must carry bits");
         assert!(self.max_rate.as_gbps() > 0.0, "max rate must be positive");
+        if let TopologyKind::FoldedClos { spines } = self.topology {
+            assert!(spines >= 1, "folded Clos needs at least one spine");
+        }
         assert!(
-            self.nodes_per_rack as usize + 4 <= u8::MAX as usize,
+            self.ports_per_router() <= u8::MAX as usize,
             "port index must fit a u8"
+        );
+        assert!(
+            self.ports_per_router() * self.vcs as usize <= 64,
+            "router slot sets are 64-bit masks: ports x vcs must be <= 64"
         );
     }
 
-    /// Number of racks (= routers).
+    /// Number of racks (routers that host processing nodes).
     pub fn rack_count(&self) -> usize {
         self.width as usize * self.height as usize
+    }
+
+    /// Total routers, including node-less ones (Clos spines).
+    pub fn router_count(&self) -> usize {
+        self.topo().router_count()
     }
 
     /// Number of processing nodes.
@@ -107,9 +176,16 @@ impl NocConfig {
         self.rack_count() * self.nodes_per_rack as usize
     }
 
-    /// Ports per router: local ports + N/S/E/W.
+    /// Uniform ports per router (topology-dependent; on the mesh, local
+    /// ports + N/S/E/W).
     pub fn ports_per_router(&self) -> usize {
-        self.nodes_per_rack as usize + 4
+        self.topo().ports_per_router()
+    }
+
+    /// Expands the configured [`TopologyKind`] into its concrete
+    /// geometry.
+    pub fn topo(&self) -> BuiltinTopology {
+        BuiltinTopology::from_config(self)
     }
 
     /// Buffer slots available per VC (even split of the port buffer).
@@ -123,8 +199,14 @@ impl NocConfig {
         RouterId(c.y as u32 * self.width as u32 + c.x as u32)
     }
 
-    /// Maps a router id back to its rack coordinate.
+    /// Maps a rack's router id back to its grid coordinate. Only valid
+    /// for routers below [`NocConfig::rack_count`] (Clos spines have no
+    /// coordinate).
     pub fn coord_of(&self, r: RouterId) -> RackCoord {
+        debug_assert!(
+            r.index() < self.rack_count(),
+            "{r} is not a rack router"
+        );
         RackCoord::new(
             (r.0 % self.width as u32) as u8,
             (r.0 / self.width as u32) as u8,
@@ -203,6 +285,52 @@ mod tests {
         // 16 bits at 10 Gb/s = one 1600 ps core cycle.
         assert_eq!(c.flit_time(Gbps::from_gbps(10.0)), c.cycle());
         assert_eq!(c.flit_time(Gbps::from_gbps(5.0)), c.cycle() * 2);
+    }
+
+    #[test]
+    fn topology_dispatch() {
+        let mut c = NocConfig::paper_default();
+        assert_eq!(c.topology, TopologyKind::Mesh);
+        assert_eq!(c.router_count(), 64);
+        c.topology = TopologyKind::Torus;
+        c.validate();
+        assert_eq!(c.router_count(), 64);
+        assert_eq!(c.ports_per_router(), 12);
+        // A 4×4 Clos with 4 spines: 16 leaves + 4 spines, spine needs 16
+        // downlink ports.
+        c.width = 4;
+        c.height = 4;
+        c.vcs = 2;
+        c.nodes_per_rack = 4;
+        c.topology = TopologyKind::FoldedClos { spines: 4 };
+        c.validate();
+        assert_eq!(c.rack_count(), 16);
+        assert_eq!(c.router_count(), 20);
+        assert_eq!(c.ports_per_router(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot sets")]
+    fn oversized_clos_rejected() {
+        let mut c = NocConfig::paper_default();
+        // 64 leaves would need 64 spine downlinks × 2 VCs = 128 slots.
+        c.topology = TopologyKind::FoldedClos { spines: 4 };
+        c.validate();
+    }
+
+    #[test]
+    fn legacy_configs_deserialize_as_mesh() {
+        // A config serialized before the `topology` field existed must
+        // still deserialize (defaulting to the mesh).
+        let serde::Value::Map(mut fields) =
+            Serialize::serialize_value(&NocConfig::paper_default())
+        else {
+            panic!("NocConfig must serialize as a map");
+        };
+        fields.retain(|(k, _)| k != "topology");
+        let c = NocConfig::deserialize_value(&serde::Value::Map(fields)).unwrap();
+        assert_eq!(c.topology, TopologyKind::Mesh);
+        assert_eq!(c, NocConfig::paper_default());
     }
 
     #[test]

@@ -29,6 +29,14 @@
 //! times. This keeps the network decoupled from the power-control policy
 //! that schedules around it.
 //!
+//! ## Topologies
+//!
+//! The geometry — which routers exist, how they are wired, how packets
+//! route between them, and how the fabric cuts into shard bands — lives
+//! behind the [`topology::Topology`] trait. The paper's clustered mesh
+//! is one implementation; wrap-around tori and a two-level folded Clos
+//! ship alongside it, and TOPOLOGIES.md walks through adding your own.
+//!
 //! ```
 //! use lumen_noc::config::NocConfig;
 //! use lumen_noc::network::Network;
@@ -40,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arbiter;
 pub mod audit;
@@ -54,6 +62,7 @@ pub mod node;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod topology;
 
 pub use audit::{audit, audit_quiescent, AuditReport};
 pub use config::NocConfig;
@@ -61,3 +70,4 @@ pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{Direction, LinkId, NodeId, PacketId, PortId, RackCoord, RouterId, VcId};
 pub use network::{Effect, Network};
 pub use stats::{LinkClassStats, NetworkSnapshot};
+pub use topology::{BuiltinTopology, Channel, Topology, TopologyKind};

@@ -1,7 +1,8 @@
-//! The assembled clustered-mesh network.
+//! The assembled network.
 //!
 //! [`Network`] owns the routers, nodes and links of the paper's system
-//! (Fig. 3(a) / Fig. 4) and exposes a *passive* stepping interface: the
+//! (Fig. 3(a) / Fig. 4) — or of whichever fabric the configuration's
+//! [`Topology`] describes — and exposes a *passive* stepping interface: the
 //! caller owns the event loop, invokes [`Network::tick`] once per router
 //! cycle, and feeds the returned [`Effect`]s (flit deliveries and credit
 //! returns) back at their due times via [`Network::flit_arrived`] /
@@ -10,12 +11,12 @@
 
 use crate::config::NocConfig;
 use crate::flit::{Flit, Packet};
-use crate::ids::Direction;
 use crate::ids::{LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 use crate::link::{Endpoint, Link, LinkKind};
 use crate::node::{SinkNode, SourceNode};
 use crate::router::Router;
-use crate::routing::{direction_port, RoutingAlgorithm};
+use crate::routing::RoutingAlgorithm;
+use crate::topology::Topology;
 use lumen_desim::Picos;
 
 /// An externally-visible consequence of stepping the network; the driver
@@ -94,41 +95,35 @@ impl Network {
     /// Panics if the configuration is invalid (see [`NocConfig::validate`]).
     pub fn with_routing(config: &NocConfig, routing: RoutingAlgorithm) -> Self {
         config.validate();
-        let mut routers: Vec<Router> = (0..config.rack_count())
+        let topo = config.topo();
+        let mut routers: Vec<Router> = (0..topo.router_count())
             .map(|r| Router::new(RouterId(r as u32), routing, config))
             .collect();
         let mut links = Vec::new();
 
-        // Inter-router mesh channels.
-        for r in 0..config.rack_count() {
-            let here = RouterId(r as u32);
-            let coord = config.coord_of(here);
-            for dir in Direction::ALL {
-                let Some(nbr_coord) = coord.neighbor(dir, config.width, config.height) else {
-                    continue;
-                };
-                let nbr = config.router_at(nbr_coord);
-                let out_port = direction_port(config, dir);
-                let in_port = direction_port(config, dir.opposite());
-                let id = LinkId(links.len() as u32);
-                links.push(Link::new(
-                    id,
-                    LinkKind::InterRouter,
-                    Endpoint::RouterPort {
-                        router: here,
-                        port: out_port,
-                    },
-                    Endpoint::RouterPort {
-                        router: nbr,
-                        port: in_port,
-                    },
-                    config.flit_bits,
-                    config.propagation,
-                    config.max_rate,
-                ));
-                routers[r].outputs[out_port.0 as usize].link = Some(id);
-                routers[nbr.index()].inputs[in_port.0 as usize].feeder = Some(id);
-            }
+        // Inter-router channels, in the topology's enumeration order
+        // (grouped by source router ascending; see `crate::topology`).
+        let mut channels = Vec::new();
+        topo.channels(&mut channels);
+        for ch in channels {
+            let id = LinkId(links.len() as u32);
+            links.push(Link::new(
+                id,
+                LinkKind::InterRouter,
+                Endpoint::RouterPort {
+                    router: ch.from,
+                    port: ch.from_port,
+                },
+                Endpoint::RouterPort {
+                    router: ch.to,
+                    port: ch.to_port,
+                },
+                config.flit_bits,
+                config.propagation,
+                config.max_rate,
+            ));
+            routers[ch.from.index()].outputs[ch.from_port.0 as usize].link = Some(id);
+            routers[ch.to.index()].inputs[ch.to_port.0 as usize].feeder = Some(id);
         }
         let inter_router_links = links.len();
 
@@ -474,6 +469,8 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::Direction;
+    use crate::routing::direction_port;
     use lumen_desim::EventQueue;
     use lumen_opto::Gbps;
 
@@ -550,6 +547,55 @@ mod tests {
         // 2 × (2 × 8 × 7) directed mesh links + 2 links per node.
         assert_eq!(net.inter_router_links(), 224);
         assert_eq!(net.link_count(), 224 + 2 * 512);
+    }
+
+    #[test]
+    fn torus_topology_counts_and_delivery() {
+        let mut config = NocConfig::small_for_tests();
+        config.topology = crate::topology::TopologyKind::Torus;
+        let mut d = Driver::new(&config);
+        // A 2×2 torus wires all four ports of every router: 16 directed
+        // channels vs the mesh's 8.
+        assert_eq!(d.net.router_count(), 4);
+        assert_eq!(d.net.inter_router_links(), 16);
+        assert_eq!(d.net.link_count(), 16 + 2 * 8);
+        let n = d.net.node_count();
+        let mut id = 0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    id += 1;
+                    d.net.inject(packet(id, s, t, 2, Picos::ZERO));
+                }
+            }
+        }
+        d.run(3000);
+        assert_eq!(d.ejected.len() as u64, id);
+        assert!(d.net.is_quiescent());
+    }
+
+    #[test]
+    fn folded_clos_topology_counts_and_delivery() {
+        let mut config = NocConfig::small_for_tests();
+        config.topology = crate::topology::TopologyKind::FoldedClos { spines: 2 };
+        let mut d = Driver::new(&config);
+        // 4 leaves + 2 spines; 2 × 4 × 2 directed up/down channels.
+        assert_eq!(d.net.router_count(), 6);
+        assert_eq!(d.net.node_count(), 8);
+        assert_eq!(d.net.inter_router_links(), 16);
+        let n = d.net.node_count();
+        let mut id = 0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    id += 1;
+                    d.net.inject(packet(id, s, t, 2, Picos::ZERO));
+                }
+            }
+        }
+        d.run(3000);
+        assert_eq!(d.ejected.len() as u64, id);
+        assert!(d.net.is_quiescent());
     }
 
     #[test]

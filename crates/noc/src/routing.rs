@@ -4,9 +4,15 @@
 //! travel fully along X, then along Y, then exit through the destination
 //! node's local ejection port. Dimension order is provably deadlock-free on
 //! meshes with wormhole flow control and a single virtual channel.
+//!
+//! The geometric step — which inter-router port makes minimal progress —
+//! is delegated to the configuration's [`Topology`] implementation, so
+//! these entry points work unchanged on meshes, tori, and folded-Clos
+//! fabrics (see [`crate::topology`]).
 
 use crate::config::NocConfig;
 use crate::ids::{Direction, NodeId, PortId, RouterId};
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// The routing discipline for the mesh.
@@ -31,8 +37,16 @@ pub fn direction_port(config: &NocConfig, dir: Direction) -> PortId {
     PortId(config.nodes_per_rack + dir.index() as u8)
 }
 
-/// The mesh direction of a port, if it is an inter-router port.
+/// The mesh direction of a port, if it is an inter-router port of a mesh
+/// or torus fabric. Folded-Clos up/down ports have no compass meaning,
+/// so this returns `None` for every port there.
 pub fn port_direction(config: &NocConfig, port: PortId) -> Option<Direction> {
+    if matches!(
+        config.topology,
+        crate::topology::TopologyKind::FoldedClos { .. }
+    ) {
+        return None;
+    }
     let base = config.nodes_per_rack;
     if port.0 >= base && port.0 < base + 4 {
         Some(Direction::ALL[(port.0 - base) as usize])
@@ -44,8 +58,25 @@ pub fn port_direction(config: &NocConfig, port: PortId) -> Option<Direction> {
 /// Appends every permitted minimal output port for a packet at `here`
 /// addressed to `dst` into `out` (cleared first). Deterministic
 /// algorithms yield exactly one candidate; `WestFirst` may yield up to
-/// three. At the destination rack, the single candidate is the ejection
-/// port.
+/// three on a mesh. At the destination rack, the single candidate is the
+/// ejection port; everywhere else the candidates come from the
+/// configuration's [`Topology`].
+///
+/// ```
+/// use lumen_noc::ids::{NodeId, PortId, RouterId};
+/// use lumen_noc::routing::{route_candidates, RoutingAlgorithm};
+/// use lumen_noc::NocConfig;
+///
+/// let config = NocConfig::paper_default(); // 8×8 mesh, 8 nodes/rack
+/// let mut out = Vec::new();
+/// // Node 348 lives in rack (3,5) = router 43. From router 0, XY
+/// // routing goes East: port 10, since ports 8..=11 are N/S/E/W.
+/// route_candidates(&config, RoutingAlgorithm::XY, RouterId(0), NodeId(348), &mut out);
+/// assert_eq!(out, vec![PortId(10)]);
+/// // At the destination rack the only candidate is the ejection port.
+/// route_candidates(&config, RoutingAlgorithm::XY, RouterId(43), NodeId(348), &mut out);
+/// assert_eq!(out, vec![PortId(4)]);
+/// ```
 pub fn route_candidates(
     config: &NocConfig,
     algo: RoutingAlgorithm,
@@ -54,90 +85,34 @@ pub fn route_candidates(
     out: &mut Vec<PortId>,
 ) {
     out.clear();
-    let here_c = config.coord_of(here);
-    let dst_c = config.coord_of(config.router_of_node(dst));
-    if here_c == dst_c {
+    let dst_router = config.router_of_node(dst);
+    if here == dst_router {
         out.push(PortId(config.local_index(dst)));
         return;
     }
-    match algo {
-        RoutingAlgorithm::XY | RoutingAlgorithm::YX => {
-            out.push(route(config, algo, here, dst));
-        }
-        RoutingAlgorithm::WestFirst => {
-            if dst_c.x < here_c.x {
-                // Westward hops come first, deterministically.
-                out.push(direction_port(config, Direction::West));
-            } else {
-                // Adaptive among the remaining minimal directions.
-                if dst_c.x > here_c.x {
-                    out.push(direction_port(config, Direction::East));
-                }
-                if dst_c.y > here_c.y {
-                    out.push(direction_port(config, Direction::South));
-                } else if dst_c.y < here_c.y {
-                    out.push(direction_port(config, Direction::North));
-                }
-            }
-        }
-    }
+    config.topo().route_inter(algo, here, dst_router, out);
     debug_assert!(!out.is_empty(), "no route from {here} to {dst}");
 }
 
 /// Computes the output port at `here` for a packet addressed to `dst`.
 ///
 /// Returns the destination's local ejection port once the packet has
-/// reached its destination rack. For [`RoutingAlgorithm::WestFirst`] this
-/// returns the first (most deterministic) candidate; adaptive selection
-/// happens in the router via [`route_candidates`].
+/// reached its destination rack. For adaptive algorithms this returns
+/// the first (most deterministic) candidate; adaptive selection happens
+/// in the router via [`route_candidates`].
 pub fn route(config: &NocConfig, algo: RoutingAlgorithm, here: RouterId, dst: NodeId) -> PortId {
-    let here_c = config.coord_of(here);
-    let dst_c = config.coord_of(config.router_of_node(dst));
-    let dir = match algo {
-        RoutingAlgorithm::WestFirst => {
-            let mut candidates = Vec::new();
-            route_candidates(config, algo, here, dst, &mut candidates);
-            return candidates[0];
-        }
-        RoutingAlgorithm::XY => {
-            if dst_c.x > here_c.x {
-                Some(Direction::East)
-            } else if dst_c.x < here_c.x {
-                Some(Direction::West)
-            } else if dst_c.y > here_c.y {
-                Some(Direction::South)
-            } else if dst_c.y < here_c.y {
-                Some(Direction::North)
-            } else {
-                None
-            }
-        }
-        RoutingAlgorithm::YX => {
-            if dst_c.y > here_c.y {
-                Some(Direction::South)
-            } else if dst_c.y < here_c.y {
-                Some(Direction::North)
-            } else if dst_c.x > here_c.x {
-                Some(Direction::East)
-            } else if dst_c.x < here_c.x {
-                Some(Direction::West)
-            } else {
-                None
-            }
-        }
-    };
-    match dir {
-        Some(d) => direction_port(config, d),
-        None => PortId(config.local_index(dst)),
-    }
+    let mut candidates = Vec::new();
+    route_candidates(config, algo, here, dst, &mut candidates);
+    candidates[0]
 }
 
-/// Number of router-to-router hops a packet takes under dimension-order
-/// routing (Manhattan distance between the racks).
+/// Number of router-to-router hops of a minimal path (on the mesh, the
+/// Manhattan distance between the racks; wrap-aware on tori, up/down
+/// depth on the folded Clos).
 pub fn hop_count(config: &NocConfig, src: NodeId, dst: NodeId) -> u32 {
-    let a = config.coord_of(config.router_of_node(src));
-    let b = config.coord_of(config.router_of_node(dst));
-    a.manhattan(b)
+    config
+        .topo()
+        .min_hops(config.router_of_node(src), config.router_of_node(dst))
 }
 
 #[cfg(test)]

@@ -20,11 +20,15 @@
 //! - [`selfsimilar`] — Pareto ON/OFF long-range-dependent traffic in the
 //!   spirit of the paper's ref. \[14\] (Leland et al.), for stressing the
 //!   policies with burstiness that persists across timescales.
+//! - [`datacenter`] — request/response datacenter traffic (incast
+//!   fan-in, ON/OFF flows, diurnal load ramp) for the `ext_datacenter`
+//!   scale-out scenario.
 //! - [`trace`] — serde-backed record/replay.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod datacenter;
 pub mod pattern;
 pub mod profile;
 pub mod selfsimilar;
@@ -32,6 +36,7 @@ pub mod source;
 pub mod splash;
 pub mod trace;
 
+pub use datacenter::{DatacenterConfig, DatacenterSource};
 pub use pattern::Pattern;
 pub use selfsimilar::{SelfSimilarConfig, SelfSimilarSource};
 pub use profile::RateProfile;

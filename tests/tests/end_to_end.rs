@@ -5,6 +5,7 @@
 use lumen_core::prelude::*;
 use lumen_desim::{Picos, Rng};
 use lumen_noc::ids::LinkId;
+use lumen_noc::Topology;
 use lumen_traffic::TrafficSource;
 
 fn small_config(power_aware: bool) -> SystemConfig {
@@ -57,7 +58,12 @@ fn energy_is_exactly_power_times_time_for_baseline() {
         PacketSize::Fixed(4),
         Rng::seed_from(3),
     ));
-    let links = 2 * config.noc.node_count() + 8; // 2×2 mesh: 8 directed mesh links
+    // Injection + ejection per node, plus the topology's own directed
+    // inter-router channels (8 on the 2×2 mesh; 16 on the 2×2 torus
+    // when LUMEN_TEST_TOPOLOGY re-points the small config).
+    let mut channels = Vec::new();
+    config.noc.topo().channels(&mut channels);
+    let links = 2 * config.noc.node_count() + channels.len();
     let mut engine = PowerAwareSim::build_engine(config, source, None);
     let horizon = Picos::from_us(10);
     engine.run_until(horizon);
