@@ -20,6 +20,7 @@ pub struct Experiment {
     sample_every: Option<u64>,
     audit: bool,
     shards: usize,
+    lookahead_cap: Option<u64>,
     telemetry: TelemetryConfig,
 }
 
@@ -37,14 +38,42 @@ impl Experiment {
             sample_every: None,
             audit: false,
             shards: crate::shard::default_shards(),
+            lookahead_cap: None,
             telemetry: TelemetryConfig::default(),
         }
     }
 
     /// Sets the number of parallel shards the run is split into
-    /// (clamped to the mesh height; 1 = sequential engine).
+    /// (clamped to the mesh height; 1 = sequential engine). This is the
+    /// *explicit* knob: the run uses the requested partition even when
+    /// the host has fewer cores than shards, which is what differential
+    /// tests and protocol benchmarks want. Callers that just want the
+    /// fastest run should use [`Experiment::shards_auto`].
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Like [`Experiment::shards`], but host-aware: the count is also
+    /// clamped to the machine's core count (see
+    /// [`crate::shard::host_shards`]). Results are bit-identical either
+    /// way — shard count is a pure performance knob — so on an
+    /// oversubscribed host this degrades toward the sequential engine
+    /// instead of paying conservative-sync coordination for no
+    /// parallelism.
+    pub fn shards_auto(mut self, shards: usize) -> Self {
+        self.shards = crate::shard::host_shards(&self.config.noc, shards);
+        self
+    }
+
+    /// Caps the sharded engine's barrier-window length in cycles
+    /// (clamped to at least 1; `Some(1)` reproduces the one-cycle-window
+    /// protocol). Windows are normally sized automatically from the
+    /// topology's cross-cut latency; results are bit-identical at every
+    /// cap, so this only matters for perf experiments and differential
+    /// tests.
+    pub fn lookahead_cap(mut self, cap: u64) -> Self {
+        self.lookahead_cap = Some(cap.max(1));
         self
     }
 
@@ -103,7 +132,7 @@ impl Experiment {
     /// conservative-parallel backend otherwise — same results either
     /// way, bit for bit).
     pub fn run(&self, source: Box<dyn TrafficSource + Send>) -> RunResult {
-        let outcome = crate::shard::run_sharded(
+        let outcome = crate::shard::run_sharded_with(
             self.config.clone(),
             source,
             self.sample_every,
@@ -111,6 +140,7 @@ impl Experiment {
             self.warmup_cycles,
             self.measure_cycles,
             self.shards,
+            self.lookahead_cap,
         );
         let (mut sim, end) = (outcome.sim, outcome.end);
         // Telemetry with shards > 1 forces the audit even in release: the
@@ -287,6 +317,22 @@ mod tests {
         );
         assert_eq!(par.avg_power_mw.to_bits(), seq.avg_power_mw.to_bits());
         assert_eq!(par.transitions, seq.transitions);
+    }
+
+    #[test]
+    fn shards_auto_is_host_clamped_and_exact() {
+        // shards_auto may resolve to any count depending on the host's
+        // cores; whatever it picks must be bit-identical to sequential.
+        let exp = small(true);
+        let seq = exp.clone().shards(1).run_uniform(0.1, PacketSize::Fixed(4));
+        let auto = exp.shards_auto(4).run_uniform(0.1, PacketSize::Fixed(4));
+        assert_eq!(auto.packets_delivered, seq.packets_delivered);
+        assert_eq!(
+            auto.avg_latency_cycles.to_bits(),
+            seq.avg_latency_cycles.to_bits()
+        );
+        assert_eq!(auto.avg_power_mw.to_bits(), seq.avg_power_mw.to_bits());
+        assert_eq!(auto.transitions, seq.transitions);
     }
 
     #[test]

@@ -668,10 +668,20 @@ impl PowerAwareSim {
                 }
             }
             queue.schedule(now + self.cycle, SimEvent::CoreTick);
+        } else {
+            // Sharded: ticks up to the window stop self-schedule exactly
+            // like the sequential engine (so the tick handler's calendar
+            // inserts land *before* the next CoreTick at equal
+            // timestamps); the runtime schedules the first tick of each
+            // new window after the barrier (and after any deferred
+            // policy), preserving the rule that the tick is the last
+            // same-time event. `cycle_index` was incremented above, so it
+            // names the *next* tick here.
+            let stop = self.shard.as_deref().expect("shard ctx").window_stop;
+            if self.cycle_index <= stop {
+                queue.schedule(now + self.cycle, SimEvent::CoreTick);
+            }
         }
-        // Sharded: the runtime schedules the next CoreTick after the
-        // barrier (and after any deferred policy), preserving the
-        // sequential rule that the tick is the last same-time event.
     }
 
     fn tick_and_drain(&mut self, now: Picos, queue: &mut EventQueue<SimEvent>) {

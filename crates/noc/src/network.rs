@@ -119,7 +119,7 @@ impl Network {
                     port: ch.to_port,
                 },
                 config.flit_bits,
-                config.propagation,
+                topo.channel_latency(&ch, config.propagation),
                 config.max_rate,
             ));
             routers[ch.from.index()].outputs[ch.from_port.0 as usize].link = Some(id);
@@ -236,6 +236,23 @@ impl Network {
     /// Immutable access to a router.
     pub fn router(&self, id: RouterId) -> &Router {
         &self.routers[id.index()]
+    }
+
+    /// The per-VC credit counters of the output port feeding `link`. The
+    /// sharded backend reads these on boundary inter-router links at every
+    /// barrier to bound how far the next window may stretch before a
+    /// missing cross-cut credit could change a switch-allocation decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is an injection link (no upstream router port).
+    pub fn output_credits(&self, link: LinkId) -> &[u16] {
+        match self.from_ep[link.index()] {
+            Endpoint::RouterPort { router, port } => {
+                &self.routers[router.index()].outputs[port.0 as usize].credits
+            }
+            Endpoint::Node(_) => panic!("{link:?} has no upstream router port"),
+        }
     }
 
     /// Iterates over all routers (conservation auditor).

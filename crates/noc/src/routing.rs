@@ -32,6 +32,17 @@ pub enum RoutingAlgorithm {
     WestFirst,
 }
 
+impl RoutingAlgorithm {
+    /// Whether route selection ever reads dynamic router state (free VCs,
+    /// credit counts). Deterministic algorithms pick from geometry alone,
+    /// which lets the sharded backend stretch barrier windows on credit
+    /// *eligibility* bounds; adaptive ones need exact credit counts every
+    /// cycle, so windows only stretch when boundary links are fully idle.
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, RoutingAlgorithm::WestFirst)
+    }
+}
+
 /// Port index of a mesh direction: local ports come first, then N/S/E/W.
 pub fn direction_port(config: &NocConfig, dir: Direction) -> PortId {
     PortId(config.nodes_per_rack + dir.index() as u8)

@@ -34,6 +34,7 @@
 use crate::config::NocConfig;
 use crate::ids::{Direction, PortId, RackCoord, RouterId};
 use crate::routing::RoutingAlgorithm;
+use lumen_desim::Picos;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -144,6 +145,41 @@ pub trait Topology {
     /// `1..=max_shards()`. The sharded backend gives each range (plus the
     /// nodes and links hanging off it) to one worker thread.
     fn shard_cuts(&self, shards: usize) -> Vec<Range<usize>>;
+
+    /// Propagation (time-of-flight) latency of channel `ch`. The built-in
+    /// fabrics are latency-uniform and return `default`
+    /// ([`NocConfig::propagation`]); a topology with per-hop fiber lengths
+    /// can override this, and [`Network`](crate::network::Network) will
+    /// build each inter-router link with the channel's own latency.
+    fn channel_latency(&self, _ch: &Channel, default: Picos) -> Picos {
+        default
+    }
+
+    /// The minimum [`channel_latency`](Topology::channel_latency) over
+    /// every channel that crosses a band boundary of
+    /// [`shard_cuts`](Topology::shard_cuts)`(shards)`, or `None` when no
+    /// channel crosses a cut (a single shard, or fully disconnected
+    /// bands). This is the propagation term of the sharded backend's
+    /// conservative lookahead: no cross-cut effect can arrive sooner than
+    /// the cheapest boundary crossing.
+    fn min_cut_latency(&self, shards: usize, default: Picos) -> Option<Picos> {
+        if shards <= 1 {
+            return None;
+        }
+        let mut band = vec![0usize; self.router_count()];
+        for (s, range) in self.shard_cuts(shards).into_iter().enumerate() {
+            for r in range {
+                band[r] = s;
+            }
+        }
+        let mut channels = Vec::new();
+        self.channels(&mut channels);
+        channels
+            .iter()
+            .filter(|ch| band[ch.from.index()] != band[ch.to.index()])
+            .map(|ch| self.channel_latency(ch, default))
+            .min()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -877,6 +913,74 @@ mod tests {
                 assert_eq!(next, topo.router_count());
             }
         }
+    }
+
+    #[test]
+    fn min_cut_latency_is_uniform_default_on_builtins() {
+        // Built-in fabrics are latency-uniform, so whenever any channel
+        // crosses a cut the minimum is exactly the uniform default.
+        let d = Picos::from_ps(3_200);
+        let topos: [&dyn Topology; 3] = [&mesh44(), &torus44(), &clos()];
+        for topo in topos {
+            assert_eq!(topo.min_cut_latency(1, d), None, "one band has no cut");
+            for s in 2..=topo.max_shards() {
+                assert_eq!(
+                    topo.min_cut_latency(s, d),
+                    Some(d),
+                    "{s} shards on a uniform fabric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_latency_takes_the_cheapest_crossing() {
+        // A topology with per-channel latencies must report the cheapest
+        // crossing, not the first: override channel_latency to make
+        // upward (to-lower-id) seam crossings cheaper.
+        struct Tilted(Mesh);
+        impl Topology for Tilted {
+            fn router_count(&self) -> usize {
+                self.0.router_count()
+            }
+            fn rack_count(&self) -> usize {
+                self.0.rack_count()
+            }
+            fn ports_per_router(&self) -> usize {
+                self.0.ports_per_router()
+            }
+            fn channels(&self, out: &mut Vec<Channel>) {
+                self.0.channels(out);
+            }
+            fn route_inter(
+                &self,
+                algo: RoutingAlgorithm,
+                here: RouterId,
+                dst: RouterId,
+                out: &mut Vec<PortId>,
+            ) {
+                self.0.route_inter(algo, here, dst, out);
+            }
+            fn min_hops(&self, a: RouterId, b: RouterId) -> u32 {
+                self.0.min_hops(a, b)
+            }
+            fn max_shards(&self) -> usize {
+                self.0.max_shards()
+            }
+            fn shard_cuts(&self, shards: usize) -> Vec<Range<usize>> {
+                self.0.shard_cuts(shards)
+            }
+            fn channel_latency(&self, ch: &Channel, default: Picos) -> Picos {
+                if ch.to.0 < ch.from.0 {
+                    Picos::from_ps(default.as_ps() / 2)
+                } else {
+                    default
+                }
+            }
+        }
+        let t = Tilted(mesh44());
+        let d = Picos::from_ps(3_200);
+        assert_eq!(t.min_cut_latency(2, d), Some(Picos::from_ps(1_600)));
     }
 
     #[test]

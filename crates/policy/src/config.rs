@@ -39,6 +39,28 @@ impl TimingConfig {
         }
     }
 
+    /// The first tick index `k >= from` at which a §3.3 policy window
+    /// closes, i.e. the smallest `k >= from` with `(k + 1) % tw_cycles ==
+    /// 0`. Window `w` spans ticks `[w·Tw, (w+1)·Tw)` and its controller
+    /// decision fires on the window's *last* tick, which is why the
+    /// closing condition is on `k + 1`. The sharded backend uses this to
+    /// clamp stretched barrier windows so a DVS boundary can never fall
+    /// mid-window: `Tw` need not divide (or even share a factor with) the
+    /// barrier window length — the barrier schedule bends to `Tw`, not
+    /// the other way around.
+    ///
+    /// ```
+    /// use lumen_policy::TimingConfig;
+    /// let mut t = TimingConfig::paper_default();
+    /// t.tw_cycles = 7;
+    /// assert_eq!(t.next_window_close(0), 6);
+    /// assert_eq!(t.next_window_close(6), 6); // a close is its own next
+    /// assert_eq!(t.next_window_close(7), 13);
+    /// ```
+    pub fn next_window_close(&self, from: u64) -> u64 {
+        (from + 1).div_ceil(self.tw_cycles) * self.tw_cycles - 1
+    }
+
     /// The transition-delay ablation of Fig. 6(b): zero `Tv` and/or `Tbr`.
     pub fn with_zeroed_delays(mut self, zero_tv: bool, zero_tbr: bool) -> Self {
         if zero_tv {
@@ -182,6 +204,23 @@ mod tests {
         assert_eq!(t.tbr_cycles, 20);
         let t2 = TimingConfig::paper_default().with_zeroed_delays(true, true);
         assert_eq!(t2.tbr_cycles, 0);
+    }
+
+    #[test]
+    fn next_window_close_lands_on_every_boundary() {
+        // Exhaustive cross-check against the closing condition itself,
+        // including Tw values coprime to typical barrier-window lengths.
+        for tw in [1u64, 2, 3, 7, 100, 1000] {
+            let mut t = TimingConfig::paper_default();
+            t.tw_cycles = tw;
+            for from in 0..3 * tw + 5 {
+                let k = t.next_window_close(from);
+                assert!(k >= from);
+                assert_eq!((k + 1) % tw, 0, "tw {tw} from {from} gave {k}");
+                // Minimality: no close in [from, k).
+                assert!((from..k).all(|j| (j + 1) % tw != 0));
+            }
+        }
     }
 
     #[test]

@@ -103,6 +103,61 @@ fn conservation_holds_under_heavy_mixed_faults() {
 }
 
 #[test]
+fn faults_inside_a_stretched_window_match_sequential() {
+    // The sharded engine stretches barrier windows to the cross-cut
+    // lookahead (3 cycles on the test fabric), so a two-cycle fault
+    // frequently begins *and* ends between two barriers. Fault effects
+    // are local to the owning shard and must replay at exact event
+    // times regardless of window framing: every corruption/drop counter
+    // and bit of the latency/power summaries must match the sequential
+    // engine, with the conservation audit clean. The run is
+    // non-power-aware so dropouts actually corrupt (a DVS controller
+    // would pin faulted links to the safe bottom rate).
+    let mut config = small(13).non_power_aware();
+    config.faults = FaultConfig {
+        outage_mtbf_cycles: 150,
+        outage_mean_duration_cycles: 2,
+        dropout_mtbf_cycles: 150,
+        dropout_mean_duration_cycles: 2,
+        ..FaultConfig::disabled()
+    };
+    let exp = Experiment::new(config)
+        .warmup_cycles(500)
+        .measure_cycles(6_000)
+        .audit_conservation();
+    let seq = exp.clone().shards(1).run_uniform(0.3, PacketSize::Fixed(4));
+    assert!(seq.link_faults > 0, "no faults fired; tighten mtbf");
+    assert!(
+        seq.flits_corrupted > 0 && seq.flits_dropped > 0,
+        "faults never caught a flit (corrupted {}, dropped {})",
+        seq.flits_corrupted,
+        seq.flits_dropped
+    );
+    for shards in [2usize, 4] {
+        let par = exp
+            .clone()
+            .shards(shards)
+            .run_uniform(0.3, PacketSize::Fixed(4));
+        let tag = format!("shards {shards}");
+        assert_eq!(par.link_faults, seq.link_faults, "{tag}");
+        assert_eq!(par.flits_corrupted, seq.flits_corrupted, "{tag}");
+        assert_eq!(par.flits_dropped, seq.flits_dropped, "{tag}");
+        assert_eq!(par.packets_dropped, seq.packets_dropped, "{tag}");
+        assert_eq!(par.packets_delivered, seq.packets_delivered, "{tag}");
+        assert_eq!(
+            par.avg_latency_cycles.to_bits(),
+            seq.avg_latency_cycles.to_bits(),
+            "{tag}"
+        );
+        assert_eq!(
+            par.avg_power_mw.to_bits(),
+            seq.avg_power_mw.to_bits(),
+            "{tag}"
+        );
+    }
+}
+
+#[test]
 fn vcsel_links_never_see_laser_dropouts() {
     // Dropouts model sag in the shared external laser of an MQW system; a
     // VCSEL generates its own light per link, so a dropout-only schedule
