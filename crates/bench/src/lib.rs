@@ -77,7 +77,8 @@ impl BenchArgs {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         match Self::try_parse(&argv) {
             Ok(args) => {
-                lumen_core::set_default_shards(args.shards);
+                let host = Executor::available().jobs();
+                lumen_core::set_default_shards(args.resolved_shards(host));
                 args
             }
             Err(ParseOutcome::Help) => {
@@ -94,11 +95,28 @@ impl BenchArgs {
     /// Parses an argument list (without the program name). Returns the
     /// options, or a help/error outcome the caller must surface.
     pub fn try_parse(argv: &[String]) -> Result<BenchArgs, ParseOutcome> {
+        let (args, extras) = Self::try_parse_partial(argv)?;
+        if let Some(first) = extras.first() {
+            return Err(ParseOutcome::Error(format!("unknown flag `{first}`")));
+        }
+        Ok(args)
+    }
+
+    /// Like [`BenchArgs::try_parse`], but returns arguments this parser
+    /// does not recognise (in their original order) instead of rejecting
+    /// them, so a harness with extra flags (`ext_dse --trials 24`) can
+    /// layer its own strict parser on top of the shared one. Malformed
+    /// *known* flags still error here; the caller must reject any
+    /// leftover it does not understand itself, or typo-safety is lost.
+    pub fn try_parse_partial(
+        argv: &[String],
+    ) -> Result<(BenchArgs, Vec<String>), ParseOutcome> {
         let mut scale = RunScale::Full;
         let mut jobs = Executor::available().jobs();
         let mut shards = 1usize;
         let mut trace = None;
         let mut topology = None;
+        let mut extras = Vec::new();
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -138,18 +156,21 @@ impl BenchArgs {
                     } else if let Some(value) = other.strip_prefix("--topology=") {
                         topology = Some(parse_topology(value)?);
                     } else {
-                        return Err(ParseOutcome::Error(format!("unknown flag `{other}`")));
+                        extras.push(other.to_string());
                     }
                 }
             }
         }
-        Ok(BenchArgs {
-            scale,
-            jobs,
-            shards,
-            trace,
-            topology,
-        })
+        Ok((
+            BenchArgs {
+                scale,
+                jobs,
+                shards,
+                trace,
+                topology,
+            },
+            extras,
+        ))
     }
 
     /// Applies the `--topology` override (if any) to a NoC configuration,
@@ -179,11 +200,30 @@ impl BenchArgs {
         }
     }
 
-    /// The executor sized by `--jobs`, capped so `jobs × shards` does not
-    /// oversubscribe the host (each point occupies `shards` threads).
+    /// The shard count a run on a `host`-core machine should actually
+    /// use: `--shards` clamped to the cores, mirroring
+    /// [`Experiment::shards_auto`]'s host clamp. Shards are a pure
+    /// performance knob (results are bit-identical at every count), so
+    /// an oversubscribed request like `--jobs 4 --shards 2` on a 1-core
+    /// host must *degrade* — fewer shards, fewer jobs — never error and
+    /// never time-slice shard workers against each other.
+    pub fn resolved_shards(&self, host: usize) -> usize {
+        self.shards.clamp(1, host.max(1))
+    }
+
+    /// The executor sized by `--jobs`, capped so `jobs ×` resolved
+    /// shards does not oversubscribe the host (each point occupies one
+    /// thread per shard).
     pub fn executor(&self) -> Executor {
-        let host = Executor::available().jobs();
-        let cap = (host / self.shards.max(1)).max(1);
+        self.executor_for(Executor::available().jobs())
+    }
+
+    /// [`BenchArgs::executor`] for an explicit host core count; the cap
+    /// uses [`BenchArgs::resolved_shards`], so both knobs degrade
+    /// together on small hosts instead of the raw `--shards` value
+    /// starving `--jobs` down to 1 while each point still oversubscribes.
+    pub fn executor_for(&self, host: usize) -> Executor {
+        let cap = (host.max(1) / self.resolved_shards(host)).max(1);
         Executor::new(self.jobs.min(cap).max(1))
     }
 
@@ -504,6 +544,33 @@ mod tests {
     }
 
     #[test]
+    fn oversubscribed_jobs_shards_degrade_instead_of_erroring() {
+        // `--jobs 4 --shards 2` keeps parsing host-independently …
+        let a = BenchArgs::try_parse(&argv(&["--jobs", "4", "--shards", "2"])).unwrap();
+        assert_eq!((a.jobs, a.shards), (4, 2));
+        // … and resolves gracefully at every host size: a 1-core host
+        // degrades both knobs to 1 (sequential points, sequential
+        // engine), a 2-core host keeps the shards and drops the jobs,
+        // and an 8-core host honours the request in full.
+        assert_eq!(a.resolved_shards(1), 1);
+        assert_eq!(a.executor_for(1).jobs(), 1);
+        assert_eq!(a.resolved_shards(2), 2);
+        assert_eq!(a.executor_for(2).jobs(), 1);
+        assert_eq!(a.resolved_shards(8), 2);
+        assert_eq!(a.executor_for(8).jobs(), 4);
+        // The resolved shard count matches what Experiment::shards_auto
+        // would pick on the same host (topology permitting), so the
+        // process default installed by parse() and the per-experiment
+        // clamp can never disagree.
+        let noc = lumen_noc::NocConfig::paper_default();
+        let host = Executor::available().jobs();
+        assert_eq!(
+            a.resolved_shards(host),
+            lumen_core::effective_shards(&noc, a.shards.min(host))
+        );
+    }
+
+    #[test]
     fn args_quick_and_jobs_forms() {
         for form in [
             argv(&["--quick", "--jobs", "3"]),
@@ -542,6 +609,27 @@ mod tests {
                 other => panic!("{bad:?} parsed as {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn partial_parse_returns_extras_in_order() {
+        let (a, extras) = BenchArgs::try_parse_partial(&argv(&[
+            "--trials", "8", "--quick", "--out", "x.json", "--jobs", "2",
+        ]))
+        .unwrap();
+        assert_eq!(a.scale, RunScale::Quick);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(extras, argv(&["--trials", "8", "--out", "x.json"]));
+        // Malformed *known* flags still fail inside the shared parser.
+        assert!(matches!(
+            BenchArgs::try_parse_partial(&argv(&["--jobs=0", "--trials", "8"])),
+            Err(ParseOutcome::Error(_))
+        ));
+        // The strict parser rejects what partial would have passed back.
+        assert!(matches!(
+            BenchArgs::try_parse(&argv(&["--trials", "8"])),
+            Err(ParseOutcome::Error(_))
+        ));
     }
 
     #[test]

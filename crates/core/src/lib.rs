@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::exec::{Executor, Point, PointResult, Workload};
     pub use crate::fault::{FaultConfig, FaultKind};
-    pub use crate::results::RunResult;
+    pub use crate::results::{ObjectiveError, Objectives, RunResult};
     pub use crate::runner::Experiment;
     pub use crate::sim::PowerAwareSim;
     pub use crate::sweep::LoadSweep;

@@ -16,8 +16,14 @@ pub struct RunResult {
     pub packets_delivered: u64,
     /// Mean end-to-end packet latency, in core cycles.
     pub avg_latency_cycles: f64,
-    /// 99th-percentile latency, in core cycles.
+    /// 99th-percentile latency, in core cycles. When the percentile lands
+    /// in the latency histogram's overflow bucket this is the overflow's
+    /// lower edge (a finite lower bound, never `INFINITY`) and
+    /// [`RunResult::p99_saturated`] is set.
     pub p99_latency_cycles: f64,
+    /// Whether `p99_latency_cycles` saturated at the histogram's overflow
+    /// edge (the true percentile is at least the reported value).
+    pub p99_saturated: bool,
     /// Maximum observed latency, in core cycles.
     pub max_latency_cycles: f64,
     /// Mean network power, mW.
@@ -111,7 +117,97 @@ impl RunResult {
     pub fn is_saturated(&self, zero_load_latency_cycles: f64) -> bool {
         self.avg_latency_cycles > 2.0 * zero_load_latency_cycles
     }
+
+    /// Extracts the optimizer/export-facing objective vector, rejecting
+    /// anything that would poison a numeric consumer: a run that delivered
+    /// no packets (its latency statistics are undefined) or any non-finite
+    /// metric. Every path that feeds run metrics into search objectives or
+    /// serialized numeric output (the `lumen-dse` Pareto JSON, trace
+    /// summaries) must go through this instead of reading the raw fields.
+    pub fn objectives(&self) -> Result<Objectives, ObjectiveError> {
+        if self.packets_delivered == 0 {
+            return Err(ObjectiveError::NoPacketsDelivered {
+                injected: self.packets_injected,
+                dropped: self.packets_dropped,
+            });
+        }
+        let obj = Objectives {
+            normalized_power: self.normalized_power,
+            avg_latency_cycles: self.avg_latency_cycles,
+            p99_latency_cycles: self.p99_latency_cycles,
+            p99_saturated: self.p99_saturated,
+            delivery_ratio: self.delivery_ratio(),
+        };
+        for (name, value) in [
+            ("normalized_power", obj.normalized_power),
+            ("avg_latency_cycles", obj.avg_latency_cycles),
+            ("p99_latency_cycles", obj.p99_latency_cycles),
+            ("delivery_ratio", obj.delivery_ratio),
+        ] {
+            if !value.is_finite() {
+                return Err(ObjectiveError::NonFinite { metric: name, value });
+            }
+        }
+        Ok(obj)
+    }
 }
+
+/// The validated objective vector of one run: the metrics a design-space
+/// search trades off, guaranteed finite (see [`RunResult::objectives`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// `avg_power / baseline_power` — the paper's power metric (lower is
+    /// better).
+    pub normalized_power: f64,
+    /// Mean end-to-end packet latency, core cycles (lower is better).
+    pub avg_latency_cycles: f64,
+    /// 99th-percentile latency, core cycles (lower is better; a lower
+    /// bound when `p99_saturated`).
+    pub p99_latency_cycles: f64,
+    /// Whether the p99 saturated at the histogram overflow edge.
+    pub p99_saturated: bool,
+    /// Fraction of resolved packets delivered intact (higher is better;
+    /// typically a constraint, not an objective).
+    pub delivery_ratio: f64,
+}
+
+/// Why a run's metrics cannot be used as search objectives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectiveError {
+    /// The run delivered nothing, so its latency statistics are undefined.
+    NoPacketsDelivered {
+        /// Packets injected during measurement.
+        injected: u64,
+        /// Packets dropped during measurement.
+        dropped: u64,
+    },
+    /// A metric came out NaN or infinite.
+    NonFinite {
+        /// Which metric.
+        metric: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ObjectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectiveError::NoPacketsDelivered { injected, dropped } => write!(
+                f,
+                "run delivered no packets ({injected} injected, {dropped} dropped): \
+                 latency objectives are undefined"
+            ),
+            ObjectiveError::NonFinite { metric, value } => write!(
+                f,
+                "objective `{metric}` is non-finite ({value}): refusing to emit it \
+                 into optimizer state or JSON"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObjectiveError {}
 
 impl fmt::Display for RunResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -149,6 +245,7 @@ mod tests {
             packets_delivered: 480,
             avg_latency_cycles: latency,
             p99_latency_cycles: latency * 3.0,
+            p99_saturated: false,
             max_latency_cycles: latency * 5.0,
             avg_power_mw: norm_power * 1000.0,
             baseline_power_mw: 1000.0,
@@ -195,6 +292,60 @@ mod tests {
         assert!(s.contains("25.0% of baseline"));
         // Fault-free runs keep the historical single-line format.
         assert!(!s.contains("dropped"));
+    }
+
+    #[test]
+    fn objectives_of_a_healthy_run_are_finite() {
+        let r = result(20.0, 0.25);
+        let o = r.objectives().unwrap();
+        assert_eq!(o.normalized_power, 0.25);
+        assert_eq!(o.avg_latency_cycles, 20.0);
+        assert_eq!(o.p99_latency_cycles, 60.0);
+        assert!(!o.p99_saturated);
+        assert_eq!(o.delivery_ratio, 1.0);
+    }
+
+    #[test]
+    fn objectives_reject_no_deliveries() {
+        // Empty latency summary: nothing delivered (e.g. every packet
+        // dropped by fault corruption) → objectives must refuse, not
+        // return 0-latency "wins".
+        let mut r = result(0.0, 0.25);
+        r.packets_delivered = 0;
+        r.packets_dropped = 500;
+        let err = r.objectives().unwrap_err();
+        assert!(matches!(err, ObjectiveError::NoPacketsDelivered { dropped: 500, .. }));
+        assert!(err.to_string().contains("no packets"));
+    }
+
+    #[test]
+    fn objectives_reject_non_finite_metrics() {
+        for (patch, metric) in [
+            (
+                &(|r: &mut RunResult| r.p99_latency_cycles = f64::INFINITY)
+                    as &dyn Fn(&mut RunResult),
+                "p99_latency_cycles",
+            ),
+            (&|r: &mut RunResult| r.avg_latency_cycles = f64::NAN, "avg_latency_cycles"),
+            (&|r: &mut RunResult| r.normalized_power = f64::NAN, "normalized_power"),
+        ] {
+            let mut r = result(20.0, 0.25);
+            patch(&mut r);
+            match r.objectives() {
+                Err(ObjectiveError::NonFinite { metric: m, .. }) => assert_eq!(m, metric),
+                other => panic!("expected NonFinite({metric}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_p99_is_an_explicit_finite_bound() {
+        let mut r = result(20.0, 0.25);
+        r.p99_saturated = true;
+        r.p99_latency_cycles = 4096.0; // the overflow edge
+        let o = r.objectives().unwrap();
+        assert!(o.p99_saturated);
+        assert_eq!(o.p99_latency_cycles, 4096.0);
     }
 
     #[test]

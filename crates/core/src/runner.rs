@@ -170,16 +170,22 @@ impl Experiment {
         let summary = sim.latency_summary().clone();
         let hist = sim.latency_histogram();
         let (lat_s, pow_s, inj_s) = sim.series();
+        // The p99 stays finite even when the percentile lands in the
+        // histogram's overflow bucket: report the overflow edge (a lower
+        // bound) and flag the saturation instead of emitting INFINITY,
+        // which would poison optimizer objectives and is not valid JSON.
+        let (p99, p99_saturated) = if summary.is_empty() {
+            (0.0, false)
+        } else {
+            hist.percentile_clamped(99.0)
+        };
         RunResult {
             cycles: self.measure_cycles,
             packets_injected: sim.packets_injected_measured(),
             packets_delivered: summary.count(),
             avg_latency_cycles: summary.mean(),
-            p99_latency_cycles: if summary.is_empty() {
-                0.0
-            } else {
-                hist.percentile(99.0)
-            },
+            p99_latency_cycles: p99,
+            p99_saturated,
             max_latency_cycles: summary.max().unwrap_or(0.0),
             avg_power_mw: sim.average_power(end).as_mw(),
             baseline_power_mw: sim.baseline_power().as_mw(),

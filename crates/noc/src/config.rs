@@ -40,6 +40,14 @@ pub struct NocConfig {
     /// [`crate::topology`]). `width`/`height`/`nodes_per_rack` above
     /// parameterize whichever topology is selected.
     pub topology: TopologyKind,
+    /// Opt-in acknowledgement that `WestFirst` routing on a [`TopologyKind::Torus`]
+    /// deliberately routes mesh-style (wrap channels stay idle — the
+    /// deadlock-free fallback documented on
+    /// [`crate::topology::Torus`]). Off by default, in which case
+    /// [`NocConfig::validate`] rejects the combination: a silent
+    /// behaviour change would corrupt cross-topology comparisons (a DSE
+    /// sweep "on a torus" that actually measured mesh routes).
+    pub allow_torus_mesh_routing: bool,
 }
 
 // Hand-written so configurations serialized before the `topology` field
@@ -72,6 +80,11 @@ impl Deserialize for NocConfig {
                 Some((_, v)) => Deserialize::deserialize_value(v)?,
                 None => TopologyKind::default(),
             },
+            allow_torus_mesh_routing: match map.iter().find(|(k, _)| k == "allow_torus_mesh_routing")
+            {
+                Some((_, v)) => Deserialize::deserialize_value(v)?,
+                None => false,
+            },
         })
     }
 }
@@ -95,6 +108,7 @@ impl NocConfig {
             credit_delay: Picos::from_ps(1600),
             routing: RoutingAlgorithm::XY,
             topology: TopologyKind::Mesh,
+            allow_torus_mesh_routing: false,
         }
     }
 
@@ -129,6 +143,7 @@ impl NocConfig {
             credit_delay: Picos::from_ps(1600),
             routing: RoutingAlgorithm::XY,
             topology,
+            allow_torus_mesh_routing: false,
         }
     }
 
@@ -151,6 +166,14 @@ impl NocConfig {
         if let TopologyKind::FoldedClos { spines } = self.topology {
             assert!(spines >= 1, "folded Clos needs at least one spine");
         }
+        assert!(
+            !(self.topology == TopologyKind::Torus
+                && self.routing == RoutingAlgorithm::WestFirst
+                && !self.allow_torus_mesh_routing),
+            "WestFirst on a torus falls back to mesh-order routing (wrap channels \
+             stay idle); set allow_torus_mesh_routing = true to opt into the \
+             fallback explicitly, or use XY/YX routing"
+        );
         assert!(
             self.ports_per_router() <= u8::MAX as usize,
             "port index must fit a u8"
@@ -319,6 +342,32 @@ mod tests {
     }
 
     #[test]
+    fn torus_west_first_needs_explicit_opt_in() {
+        let mut c = NocConfig::paper_default();
+        c.topology = TopologyKind::Torus;
+        c.routing = RoutingAlgorithm::WestFirst;
+        // Silent mesh-fallback rejected by default…
+        let rejected = c.clone();
+        let err = std::panic::catch_unwind(move || rejected.validate()).unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("allow_torus_mesh_routing"), "{msg}");
+        // …accepted once acknowledged.
+        c.allow_torus_mesh_routing = true;
+        c.validate();
+        // And irrelevant off the torus/WestFirst combination.
+        let mut mesh = NocConfig::paper_default();
+        mesh.routing = RoutingAlgorithm::WestFirst;
+        mesh.validate();
+        let mut torus_xy = NocConfig::paper_default();
+        torus_xy.topology = TopologyKind::Torus;
+        torus_xy.validate();
+    }
+
+    #[test]
     fn legacy_configs_deserialize_as_mesh() {
         // A config serialized before the `topology` field existed must
         // still deserialize (defaulting to the mesh).
@@ -327,9 +376,10 @@ mod tests {
         else {
             panic!("NocConfig must serialize as a map");
         };
-        fields.retain(|(k, _)| k != "topology");
+        fields.retain(|(k, _)| k != "topology" && k != "allow_torus_mesh_routing");
         let c = NocConfig::deserialize_value(&serde::Value::Map(fields)).unwrap();
         assert_eq!(c.topology, TopologyKind::Mesh);
+        assert!(!c.allow_torus_mesh_routing);
         assert_eq!(c, NocConfig::paper_default());
     }
 

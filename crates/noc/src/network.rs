@@ -703,7 +703,10 @@ mod tests {
 
     #[test]
     fn west_first_every_pair_delivers() {
-        let config = NocConfig::small_for_tests();
+        let mut config = NocConfig::small_for_tests();
+        // Under LUMEN_TEST_TOPOLOGY=torus this exercises the (opt-in)
+        // mesh-order fallback; the delivery guarantee must still hold.
+        config.allow_torus_mesh_routing = true;
         let mut d = Driver {
             net: Network::with_routing(&config, crate::routing::RoutingAlgorithm::WestFirst),
             queue: EventQueue::new(),
@@ -730,7 +733,8 @@ mod tests {
     fn west_first_adversarial_hotspot_drains() {
         // Heavy many-to-one plus cross traffic: a deadlock hazard for
         // non-turn-model adaptive schemes; west-first must drain.
-        let config = NocConfig::small_for_tests();
+        let mut config = NocConfig::small_for_tests();
+        config.allow_torus_mesh_routing = true;
         let mut d = Driver {
             net: Network::with_routing(&config, crate::routing::RoutingAlgorithm::WestFirst),
             queue: EventQueue::new(),

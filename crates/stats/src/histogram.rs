@@ -81,14 +81,40 @@ impl Histogram {
         self.bucket_width
     }
 
+    /// The lower edge of the overflow bucket: the histogram's covered
+    /// range ends here, and every overflow sample is known only to be at
+    /// least this large (or non-finite).
+    pub fn overflow_edge(&self) -> f64 {
+        self.buckets.len() as f64 * self.bucket_width
+    }
+
     /// The value below which `p` percent of samples fall (upper edge of the
     /// containing bucket; `f64::INFINITY` if the percentile lands in the
-    /// overflow bucket).
+    /// overflow bucket). Callers feeding the result into arithmetic,
+    /// optimizer objectives, or serialized output should prefer
+    /// [`Histogram::percentile_clamped`], which reports the overflow case
+    /// as a finite edge plus a saturation flag instead.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]` or the histogram is empty.
     pub fn percentile(&self, p: f64) -> f64 {
+        match self.percentile_clamped(p) {
+            (_, true) => f64::INFINITY,
+            (edge, false) => edge,
+        }
+    }
+
+    /// Like [`Histogram::percentile`], but the overflow case stays finite:
+    /// returns `(value, saturated)` where `saturated` means the percentile
+    /// landed in the overflow bucket and `value` is the overflow's lower
+    /// edge ([`Histogram::overflow_edge`]) — a *lower bound* on the true
+    /// percentile, never `INFINITY`/`NaN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or the histogram is empty.
+    pub fn percentile_clamped(&self, p: f64) -> (f64, bool) {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
         assert!(self.count > 0, "percentile of empty histogram");
         let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
@@ -96,10 +122,10 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return (i as f64 + 1.0) * self.bucket_width;
+                return ((i as f64 + 1.0) * self.bucket_width, false);
             }
         }
-        f64::INFINITY
+        (self.overflow_edge(), true)
     }
 
     /// Merges another histogram with identical geometry.
@@ -169,6 +195,30 @@ mod tests {
         let mut h = Histogram::new(1.0, 1);
         h.record(100.0);
         assert_eq!(h.percentile(50.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentile_clamped_reports_overflow_edge() {
+        let mut h = Histogram::new(2.0, 5);
+        h.record(100.0); // overflow (edge = 10.0)
+        assert_eq!(h.overflow_edge(), 10.0);
+        assert_eq!(h.percentile_clamped(50.0), (10.0, true));
+        // A non-overflow percentile is identical to percentile() and
+        // flagged unsaturated.
+        h.record(1.0);
+        assert_eq!(h.percentile_clamped(50.0), (2.0, false));
+        assert_eq!(h.percentile(50.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_clamped_is_finite_even_for_non_finite_samples() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let (v, saturated) = h.percentile_clamped(99.0);
+        assert!(saturated);
+        assert_eq!(v, 4.0);
+        assert!(v.is_finite());
     }
 
     #[test]
