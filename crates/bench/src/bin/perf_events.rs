@@ -25,6 +25,13 @@
 //! perf-smoke job sets this — the job is `continue-on-error`, so shared-
 //! runner noise flags rather than gates).
 //!
+//! Since the precomputed route table landed, every point is additionally
+//! rerun with `RouteTableMode::Off` (on-the-fly routing, the pre-table
+//! RC stage) and cross-checked bit-identical, a routing micro-bench
+//! measures raw lookup throughput (table vs on-the-fly) per topology,
+//! and two `ext_datacenter`-shaped full-scale points (32×32 mesh and
+//! folded Clos under DVS) record the end-to-end before/after.
+//!
 //! Run: `cargo run --release -p lumen-bench --bin perf_events -- \
 //!       [--quick] [--jobs N] [--shards N] [--out PATH]`
 //! (default out: BENCH_events.json)
@@ -32,6 +39,9 @@
 use lumen_bench::{banner, defaults, run_points, BenchArgs, RunScale};
 use lumen_core::prelude::*;
 use lumen_desim::{Engine, Rng};
+use lumen_noc::routing::route_candidates;
+use lumen_noc::{NodeId, RouteTable, RouterId};
+use lumen_traffic::DatacenterSource;
 use std::time::Instant;
 
 /// Pre-change throughput of the seed commit (`07c112b`, the BinaryHeap
@@ -124,6 +134,7 @@ fn run_point_sharded(config: SystemConfig, rate: f64, scale: RunScale, shards: u
         measure,
         shards,
         None,
+        RouteTableMode::Auto,
     );
     let wall_s = start.elapsed().as_secs_f64();
     ShardPerf {
@@ -138,29 +149,15 @@ fn run_point_sharded(config: SystemConfig, rate: f64, scale: RunScale, shards: u
     }
 }
 
-fn run_point(
-    config: SystemConfig,
-    rate: f64,
-    scale: RunScale,
-    reference: bool,
-    telemetry: TelemetryConfig,
+/// Drives one prebuilt engine over the fig5-shaped warmup/measure
+/// schedule and collects the backend measurement.
+fn drive(
+    mut engine: Engine<PowerAwareSim>,
+    cycle: lumen_desim::Picos,
+    warmup: u64,
+    measure: u64,
+    start: Instant,
 ) -> BackendPerf {
-    let warmup = scale.cycles(defaults::WARMUP_CYCLES);
-    let measure = scale.cycles(60_000); // fig5_load's per-point horizon
-    let source = Box::new(SyntheticSource::new(
-        &config.noc,
-        Pattern::Uniform,
-        RateProfile::Constant(rate),
-        PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS),
-        Rng::seed_from(config.seed),
-    ));
-    let cycle = config.noc.cycle();
-    let start = Instant::now();
-    let mut engine: Engine<PowerAwareSim> = if reference {
-        PowerAwareSim::build_engine_reference_queue(config, source, None)
-    } else {
-        PowerAwareSim::build_engine_telemetry(config, source, None, telemetry)
-    };
     engine.run_until(cycle * warmup);
     let now = engine.now();
     engine.model_mut().begin_measurement(now);
@@ -175,6 +172,127 @@ fn run_point(
         delivered: sim.network().packets_delivered(),
         energy_nj: sim.energy_nj(end),
     }
+}
+
+fn run_point(
+    config: SystemConfig,
+    rate: f64,
+    scale: RunScale,
+    reference: bool,
+    telemetry: TelemetryConfig,
+    route_table: RouteTableMode,
+) -> BackendPerf {
+    let warmup = scale.cycles(defaults::WARMUP_CYCLES);
+    let measure = scale.cycles(60_000); // fig5_load's per-point horizon
+    let source = Box::new(SyntheticSource::new(
+        &config.noc,
+        Pattern::Uniform,
+        RateProfile::Constant(rate),
+        PacketSize::Fixed(defaults::SYNTHETIC_PACKET_FLITS),
+        Rng::seed_from(config.seed),
+    ));
+    let cycle = config.noc.cycle();
+    let start = Instant::now();
+    let engine: Engine<PowerAwareSim> = if reference {
+        PowerAwareSim::build_engine_reference_queue(config, source, None)
+    } else {
+        PowerAwareSim::build_engine_with_route_table(config, source, None, telemetry, route_table)
+    };
+    drive(engine, cycle, warmup, measure, start)
+}
+
+/// One `ext_datacenter`-shaped point (request/response traffic with
+/// incast and diurnal ramp) on the sequential engine, timed with the
+/// given route-table mode. The acceptance row for the table: the 32×32
+/// mesh and the Clos pay the dispatched `route_inter` most.
+fn run_point_datacenter(
+    config: SystemConfig,
+    scale: RunScale,
+    measure_mult: u64,
+    mode: RouteTableMode,
+) -> BackendPerf {
+    let warmup = scale.cycles(defaults::WARMUP_CYCLES);
+    // ext_datacenter's per-point horizon, stretched by `measure_mult` on
+    // small fabrics so every timed drive runs long enough (seconds, not
+    // milliseconds) for events/sec to resolve the RC-stage delta.
+    let measure = scale.cycles(60_000) * measure_mult;
+    let mut dc = DatacenterConfig::web_like(config.noc.node_count() / 4);
+    dc.request_rate = config.noc.node_count() as f64 * 0.004;
+    dc.diurnal_period_cycles = scale.cycles(40_000);
+    dc.incast_period_cycles = scale.cycles(8_000);
+    // Same seed-stream decorrelation as `Workload::Datacenter`.
+    let source = Box::new(DatacenterSource::new(
+        &config.noc,
+        dc,
+        Rng::seed_from(lumen_core::exec::derive_seed(config.seed, u64::MAX - 1)),
+    ));
+    let cycle = config.noc.cycle();
+    let engine = PowerAwareSim::build_engine_with_route_table(
+        config,
+        source,
+        None,
+        TelemetryConfig::default(),
+        mode,
+    );
+    // Time the drive only: engine construction (and the route-table
+    // build inside it) is a one-time setup cost, amortized further by
+    // the sharded backend's Arc sharing, while this row measures
+    // steady-state event throughput.
+    drive(engine, cycle, warmup, measure, Instant::now())
+}
+
+/// Raw routing-lookup throughput on one fabric: the precomputed table
+/// against the on-the-fly topology path, over every `(here, dst)` pair
+/// in a fixed deterministic order. Returns (table ns/lookup, on-the-fly
+/// ns/lookup, JSON row).
+fn routing_microbench(name: &str, noc: &NocConfig) -> (f64, f64, String) {
+    use std::hint::black_box;
+    let table = RouteTable::build(noc, noc.routing);
+    let routers = noc.router_count();
+    let nodes = noc.node_count();
+    let pairs = routers * nodes;
+    // ~4M lookups per mode keeps the timing stable without dragging the
+    // harness; always at least one full pass over every pair.
+    let iters = (4_000_000 / pairs).max(1);
+    let lookups = (iters * pairs) as f64;
+
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        for here in 0..routers {
+            let here = RouterId(here as u32);
+            for n in 0..nodes {
+                let set = table.candidates(here, NodeId(n as u32));
+                acc += set.as_slice()[0].0 as u64;
+            }
+        }
+    }
+    black_box(acc);
+    let table_ns = start.elapsed().as_secs_f64() * 1e9 / lookups;
+
+    let start = Instant::now();
+    let mut scratch = Vec::with_capacity(lumen_noc::route_table::MAX_ROUTE_CANDIDATES);
+    let mut acc2 = 0u64;
+    for _ in 0..iters {
+        for here in 0..routers {
+            let here = RouterId(here as u32);
+            for n in 0..nodes {
+                route_candidates(noc, noc.routing, here, NodeId(n as u32), &mut scratch);
+                acc2 += scratch[0].0 as u64;
+            }
+        }
+    }
+    black_box(acc2);
+    let fly_ns = start.elapsed().as_secs_f64() * 1e9 / lookups;
+    assert_eq!(acc, acc2, "table and on-the-fly first candidates diverged on {name}");
+
+    let json = format!(
+        "    {{\"fabric\": \"{name}\", \"routers\": {routers}, \"nodes\": {nodes}, \"table_bytes\": {}, \"lookups\": {}, \"table_ns_per_lookup\": {table_ns:.2}, \"on_the_fly_ns_per_lookup\": {fly_ns:.2}, \"speedup\": {:.2}}}",
+        table.bytes(),
+        iters * pairs,
+        fly_ns / table_ns
+    );
+    (table_ns, fly_ns, json)
 }
 
 /// The `fig5_load --quick`-shaped sweep (6 configs × zero-load + 8 rates),
@@ -217,6 +335,7 @@ fn json_point(
     wheel: &BackendPerf,
     heap: &BackendPerf,
     traced: &BackendPerf,
+    table_off: &BackendPerf,
     vs_pr4: Option<f64>,
     shard_runs: &[ShardPerf],
     pr4_barriers: u64,
@@ -262,12 +381,14 @@ fn json_point(
     let vs_pr4 = vs_pr4.map_or(String::from("null"), |r| format!("{r:.3}"));
     let (auto_resolved, auto_wall) = auto;
     format!(
-        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2},\n      \"telemetry_on\": {},\n      \"telemetry_overhead_pct\": {:.1},\n      \"wheel_vs_pr4_baseline\": {},\n      \"sharded\": [\n{}\n      ],\n      \"shards_auto\": {{\"requested\": 2, \"resolved\": {auto_resolved}, \"wall_s\": {auto_wall:.3}, \"speedup_vs_1\": {:.2}}}\n    }}",
+        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {cycles},\n      \"wheel\": {},\n      \"reference_heap\": {},\n      \"speedup\": {:.2},\n      \"telemetry_on\": {},\n      \"telemetry_overhead_pct\": {:.1},\n      \"route_table_off\": {},\n      \"route_table_speedup\": {:.3},\n      \"wheel_vs_pr4_baseline\": {},\n      \"sharded\": [\n{}\n      ],\n      \"shards_auto\": {{\"requested\": 2, \"resolved\": {auto_resolved}, \"wall_s\": {auto_wall:.3}, \"speedup_vs_1\": {:.2}}}\n    }}",
         backend(wheel),
         backend(heap),
         wheel.events_per_sec() / heap.events_per_sec(),
         backend(traced),
         (wheel.events_per_sec() / traced.events_per_sec() - 1.0) * 100.0,
+        backend(table_off),
+        wheel.events_per_sec() / table_off.events_per_sec(),
         vs_pr4,
         shards.join(",\n"),
         shard_runs[0].wall_s / auto_wall
@@ -324,7 +445,14 @@ fn main() {
             c
         };
         println!("\n{name} ({scale_name} scale, {point_cycles} cycles):");
-        let wheel = run_point(config.clone(), rate, scale, false, TelemetryConfig::default());
+        let wheel = run_point(
+            config.clone(),
+            rate,
+            scale,
+            false,
+            TelemetryConfig::default(),
+            RouteTableMode::Auto,
+        );
         println!(
             "  wheel          {:>12.0} events/s  ({} events, {:.2}s)",
             wheel.events_per_sec(),
@@ -337,6 +465,7 @@ fn main() {
             scale,
             true,
             TelemetryConfig::default(),
+            RouteTableMode::Auto,
         );
         println!(
             "  reference heap {:>12.0} events/s  ({} events, {:.2}s)",
@@ -365,7 +494,14 @@ fn main() {
 
         // Full telemetry recording on the wheel backend: observation only,
         // so event counts, packets, and energy must all be untouched.
-        let traced = run_point(config, rate, scale, false, TelemetryConfig::full());
+        let traced = run_point(
+            config.clone(),
+            rate,
+            scale,
+            false,
+            TelemetryConfig::full(),
+            RouteTableMode::Auto,
+        );
         assert_eq!(
             (traced.events, traced.scheduled, traced.delivered),
             (wheel.events, wheel.scheduled, wheel.delivered),
@@ -381,6 +517,34 @@ fn main() {
             "  telemetry on   {:>12.0} events/s  ({:.1}% overhead, bit-identical output)",
             traced.events_per_sec(),
             (wheel.events_per_sec() / traced.events_per_sec() - 1.0) * 100.0
+        );
+
+        // On-the-fly routing (the pre-table RC stage): the route table is
+        // a pure performance knob, so event counts, packets, and energy
+        // must all reproduce bit-for-bit without it.
+        let table_off = run_point(
+            config,
+            rate,
+            scale,
+            false,
+            TelemetryConfig::default(),
+            RouteTableMode::Off,
+        );
+        assert_eq!(
+            (table_off.events, table_off.scheduled, table_off.delivered),
+            (wheel.events, wheel.scheduled, wheel.delivered),
+            "route table changed the simulation on {name}"
+        );
+        assert!(
+            table_off.energy_nj == wheel.energy_nj,
+            "route table changed energy on {name}: {} vs {}",
+            table_off.energy_nj,
+            wheel.energy_nj
+        );
+        println!(
+            "  route-table off {:>11.0} events/s  (table speedup {:.2}x, bit-identical output)",
+            table_off.events_per_sec(),
+            wheel.events_per_sec() / table_off.events_per_sec()
         );
 
         // Telemetry-disabled hot path vs the PR-4 record (same host
@@ -503,10 +667,152 @@ fn main() {
             &wheel,
             &heap,
             &traced,
+            &table_off,
             vs_pr4,
             &shard_runs,
             pr4_barriers,
             (auto_resolved, auto_wall),
+        ));
+    }
+
+    // --- Routing micro-bench: table vs on-the-fly, per fabric. ----------
+    // Raw lookup throughput with no simulator around it, every
+    // `(here, dst)` pair in deterministic order; the first-candidate
+    // checksum cross-checks the two paths.
+    println!("\nrouting micro-bench (table vs on-the-fly, ns/lookup):");
+    let micro_fabrics: Vec<(&str, NocConfig)> = {
+        let mesh = SystemConfig::paper_default().noc;
+        let mut torus = mesh.clone();
+        torus.topology = TopologyKind::Torus;
+        let mut clos = mesh.clone();
+        clos.width = 4;
+        clos.height = 4;
+        clos.nodes_per_rack = 4;
+        clos.topology = TopologyKind::FoldedClos { spines: 4 };
+        let mut dc = mesh.clone();
+        dc.width = 32;
+        dc.height = 32;
+        dc.nodes_per_rack = 1;
+        vec![
+            ("mesh-8x8", mesh),
+            ("torus-8x8", torus),
+            ("folded-clos-4x4x4", clos),
+            ("mesh-32x32", dc),
+        ]
+    };
+    let mut micro_json = Vec::new();
+    for (fabric, noc) in &micro_fabrics {
+        let (table_ns, fly_ns, row) = routing_microbench(fabric, noc);
+        println!(
+            "  {fabric:<18} table {table_ns:>6.2}  on-the-fly {fly_ns:>7.2}  ({:.2}x)",
+            fly_ns / table_ns
+        );
+        micro_json.push(row);
+    }
+
+    // --- ext_datacenter full-scale rows: route table on vs off. ---------
+    // The fabrics where route compute costs most (1024 routers; Clos
+    // dispatch); the acceptance row for the table work.
+    let mut dc_json = Vec::new();
+    for (name, noc, measure_mult) in [
+        (
+            "ext_datacenter mesh-32x32 DVS",
+            {
+                let mut noc = SystemConfig::paper_default().noc;
+                noc.width = 32;
+                noc.height = 32;
+                noc.nodes_per_rack = 1;
+                noc
+            },
+            1,
+        ),
+        (
+            "ext_datacenter folded-clos DVS",
+            {
+                let mut noc = SystemConfig::paper_default().noc;
+                noc.width = 4;
+                noc.height = 4;
+                noc.nodes_per_rack = 4;
+                noc.topology = TopologyKind::FoldedClos { spines: 4 };
+                noc
+            },
+            // 64 nodes vs 1024: stretch the horizon so the timed drive
+            // is seconds long on this fabric too.
+            40,
+        ),
+    ] {
+        let config = {
+            let mut c = SystemConfig::paper_default();
+            c.noc = noc;
+            c
+        };
+        println!("\n{name} ({scale_name} scale):");
+        // Measured in adjacent (on, off) pairs: the RC saving is a small
+        // slice of total event cost while shared-host scheduler noise is
+        // multiplicative and low-frequency, so the robust statistic is
+        // the MEDIAN of per-pair wall ratios (each pair runs seconds
+        // apart and sees near-identical machine state). Identity is
+        // asserted on every repetition.
+        let pairs = if scale == RunScale::Quick { 1 } else { 7 };
+        let mut on_walls = Vec::new();
+        let mut off_walls = Vec::new();
+        let mut ratios = Vec::new();
+        let mut first: Option<BackendPerf> = None;
+        for p in 0..pairs {
+            let a = run_point_datacenter(config.clone(), scale, measure_mult, RouteTableMode::Auto);
+            let b = run_point_datacenter(config.clone(), scale, measure_mult, RouteTableMode::Off);
+            assert_eq!(
+                (a.events, a.scheduled, a.delivered),
+                (b.events, b.scheduled, b.delivered),
+                "route table changed the simulation on {name}"
+            );
+            assert!(
+                a.energy_nj == b.energy_nj,
+                "route table changed energy on {name}: {} vs {}",
+                a.energy_nj,
+                b.energy_nj
+            );
+            if let Some(f) = &first {
+                assert_eq!((a.events, a.scheduled), (f.events, f.scheduled));
+            }
+            println!(
+                "  pair {p}: on {:.2}s  off {:.2}s  ratio {:.4}",
+                a.wall_s,
+                b.wall_s,
+                b.wall_s / a.wall_s
+            );
+            ratios.push(b.wall_s / a.wall_s);
+            on_walls.push(a.wall_s);
+            off_walls.push(b.wall_s);
+            if first.is_none() {
+                first = Some(a);
+            }
+        }
+        let first = first.expect("at least one pair");
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+            v[v.len() / 2]
+        };
+        let speedup = median(&mut ratios);
+        let on_wall = median(&mut on_walls);
+        let off_wall = median(&mut off_walls);
+        let events = first.events;
+        println!(
+            "  route table on  {:>11.0} events/s  ({events} events, {on_wall:.2}s median of {pairs})",
+            events as f64 / on_wall,
+        );
+        println!(
+            "  route table off {:>11.0} events/s  ({off_wall:.2}s median of {pairs})",
+            events as f64 / off_wall,
+        );
+        println!(
+            "  table speedup {speedup:.3}x median-of-pairs (cross-check ok: {} packets, {:.1} nJ on both)",
+            first.delivered, first.energy_nj
+        );
+        dc_json.push(format!(
+            "    {{\"name\": \"{name}\", \"events\": {events}, \"pairs\": {pairs}, \"table_on\": {{\"wall_s\": {on_wall:.3}, \"events_per_sec\": {:.0}}}, \"table_off\": {{\"wall_s\": {off_wall:.3}, \"events_per_sec\": {:.0}}}, \"route_table_speedup\": {speedup:.3}}}",
+            events as f64 / on_wall,
+            events as f64 / off_wall,
         ));
     }
 
@@ -541,10 +847,12 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"lumen-bench-events/4\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"sharded_note\": \"sharded events_per_sec = sequential event count / sharded wall-clock (comparable across shard counts). The sharded rows FORCE the partition even when the host has fewer cores than shards, so they measure the conservative protocol's true coordination cost; shards_auto is the host-aware policy (Experiment::shards_auto) that never runs more shards than cores — results are bit-identical either way, so on an oversubscribed host a 2-shard request resolves toward the sequential engine and costs ~nothing. barriers counts one rendezvous per mandatory stop (DVS window closes, sample/publish ticks, run end) and is deterministic; windows is the busiest worker's window count and depends on thread scheduling; barrier_reduction_vs_pre_lookahead compares against the one-cycle-window protocol's deterministic barrier count\",\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"lumen-bench-events/5\",\n  \"scale\": \"{scale_name}\",\n  \"host_parallelism\": {},\n  \"sharded_note\": \"sharded events_per_sec = sequential event count / sharded wall-clock (comparable across shard counts). The sharded rows FORCE the partition even when the host has fewer cores than shards, so they measure the conservative protocol's true coordination cost; shards_auto is the host-aware policy (Experiment::shards_auto) that never runs more shards than cores — results are bit-identical either way, so on an oversubscribed host a 2-shard request resolves toward the sequential engine and costs ~nothing. barriers counts one rendezvous per mandatory stop (DVS window closes, sample/publish ticks, run end) and is deterministic; windows is the busiest worker's window count and depends on thread scheduling; barrier_reduction_vs_pre_lookahead compares against the one-cycle-window protocol's deterministic barrier count\",\n  \"route_table_note\": \"route_table_off reruns the point with RouteTableMode::Off (the pre-table on-the-fly RC stage); outputs are asserted bit-identical, so route_table_speedup is a pure hot-path measurement. routing_microbench times raw candidate lookups with no simulator around them. datacenter_points are ext_datacenter-shaped sequential runs timed in adjacent on/off pairs (engine construction excluded); their route_table_speedup is the median of per-pair wall ratios, the statistic robust to the multiplicative low-frequency scheduler noise of a shared host — the RC stage is a small slice of total event cost, so expect a small single-digit-percent figure, not the microbench's raw lookup speedup\",\n  \"seed_baseline\": {{\n    \"commit\": \"07c112b\",\n    \"backend\": \"binary_heap\",\n    \"scale\": \"full\",\n    \"note\": \"pre-wheel throughput, measured once on the dev host; kept as the trajectory anchor\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"points\": [\n{}\n  ],\n  \"routing_microbench\": [\n{}\n  ],\n  \"datacenter_points\": [\n{}\n  ],\n  \"quick_sweep\": {{\n    \"harness\": \"fig5_load-shaped\",\n    \"points\": {n_points},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         Executor::available().jobs(),
         seed_json.join(",\n"),
         point_json.join(",\n"),
+        micro_json.join(",\n"),
+        dc_json.join(",\n"),
         sweep_json.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_events.json");

@@ -4,6 +4,7 @@ use crate::config::SystemConfig;
 use crate::results::RunResult;
 use crate::telemetry::TelemetryConfig;
 use lumen_desim::Rng;
+use lumen_noc::RouteTableMode;
 use lumen_traffic::{PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource};
 
 /// The injection rate (packets/cycle) of the near-idle run that anchors
@@ -22,6 +23,7 @@ pub struct Experiment {
     shards: usize,
     lookahead_cap: Option<u64>,
     telemetry: TelemetryConfig,
+    route_table: RouteTableMode,
 }
 
 impl Experiment {
@@ -40,7 +42,18 @@ impl Experiment {
             shards: crate::shard::default_shards(),
             lookahead_cap: None,
             telemetry: TelemetryConfig::default(),
+            route_table: RouteTableMode::Auto,
         }
+    }
+
+    /// Sets the route-table mode (default [`RouteTableMode::Auto`]:
+    /// precompute a flat table unless `LUMEN_ROUTE_TABLE=off`). A pure
+    /// performance knob — results are bit-identical in every mode; used
+    /// by the perf harness and differential tests to measure and pin
+    /// exactly that.
+    pub fn route_table(mut self, mode: RouteTableMode) -> Self {
+        self.route_table = mode;
+        self
     }
 
     /// Sets the number of parallel shards the run is split into
@@ -141,6 +154,7 @@ impl Experiment {
             self.measure_cycles,
             self.shards,
             self.lookahead_cap,
+            self.route_table.clone(),
         );
         let (mut sim, end) = (outcome.sim, outcome.end);
         // Telemetry with shards > 1 forces the audit even in release: the

@@ -118,7 +118,7 @@ use crate::sim::{PowerAwareSim, SimEvent};
 use crate::telemetry::TelemetryConfig;
 use lumen_desim::Picos;
 use lumen_noc::ids::{LinkId, VcId};
-use lumen_noc::{Channel, Network, NocConfig, Packet, Topology};
+use lumen_noc::{Channel, Network, NocConfig, Packet, RouteTableMode, Topology};
 use lumen_policy::{PolicyMode, TimingConfig};
 use lumen_stats::{Histogram, Summary, TimeSeries};
 use lumen_traffic::TrafficSource;
@@ -830,14 +830,18 @@ pub fn run_sharded(
         measure_cycles,
         shards,
         None,
+        RouteTableMode::Auto,
     )
 }
 
 /// [`run_sharded`] with an explicit cap on the conservative lookahead
-/// (barrier window length, in router cycles). `Some(1)` reproduces the
-/// pre-lookahead one-cycle-window protocol exactly; `None` uses the full
-/// static bound. Results are bit-identical at every cap — the cap only
-/// trades barrier frequency against nothing at all.
+/// (barrier window length, in router cycles) and an explicit
+/// [`RouteTableMode`]. `Some(1)` reproduces the pre-lookahead
+/// one-cycle-window protocol exactly; `None` uses the full static bound.
+/// Results are bit-identical at every cap and route-table mode — both
+/// are pure performance knobs. The route table is resolved **once** on
+/// the caller's thread and the same immutable `Arc` handed to every
+/// shard replica, so replicas never redo the all-pairs enumeration.
 #[allow(clippy::too_many_arguments)]
 pub fn run_sharded_with(
     config: SystemConfig,
@@ -848,6 +852,7 @@ pub fn run_sharded_with(
     measure_cycles: u64,
     shards: usize,
     lookahead_cap: Option<u64>,
+    route_table: RouteTableMode,
 ) -> ShardedOutcome {
     // Validate on the caller's thread so a bad configuration panics
     // here (where Executor's catch_unwind sees the real message), not
@@ -859,7 +864,13 @@ pub fn run_sharded_with(
     let specs = partition(&config.noc, shards);
     if specs.len() <= 1 {
         // Sequential reference path, identical to Experiment::run.
-        let mut engine = PowerAwareSim::build_engine_telemetry(config, source, sample_every, telemetry);
+        let mut engine = PowerAwareSim::build_engine_with_route_table(
+            config,
+            source,
+            sample_every,
+            telemetry,
+            route_table,
+        );
         engine.run_until(cycle * warmup_cycles);
         let now = engine.now();
         engine.model_mut().begin_measurement(now);
@@ -875,6 +886,10 @@ pub fn run_sharded_with(
     }
 
     let s_count = specs.len();
+    // One table for the whole run: resolved here, shared by `Arc` into
+    // every replica below (`None` — env-disabled or oversized — keeps
+    // every replica on the on-the-fly path).
+    let shared_table = route_table.resolve(&config.noc);
     let (owner, to_owner) = ownership(&config.noc, &specs);
     let link_count = owner.len();
     let owner = Arc::new(owner);
@@ -973,6 +988,10 @@ pub fn run_sharded_with(
             let clocks = &clocks;
             let ir_lens = &ir_lens;
             let ledger_links = boundary_out[s].clone();
+            let table_mode = match &shared_table {
+                Some(t) => RouteTableMode::Shared(Arc::clone(t)),
+                None => RouteTableMode::Off,
+            };
             handles.push(scope.spawn(move || {
                 let mut ledger = CreditLedger::new(ledger_links, link_count, &cfg.noc, lookahead);
                 let ctx = ShardCtx::new(spec, owner, to_owner, s_count);
@@ -981,8 +1000,14 @@ pub fn run_sharded_with(
                     cursor: 0,
                     generated: 0,
                 });
-                let mut engine =
-                    PowerAwareSim::build_engine_shard(cfg, feed_source, sample_every, telemetry, ctx);
+                let mut engine = PowerAwareSim::build_engine_shard(
+                    cfg,
+                    feed_source,
+                    sample_every,
+                    telemetry,
+                    table_mode,
+                    ctx,
+                );
                 let mut coordinator = coordinator;
                 let (mut windows, mut barriers) = (0u64, 0u64);
                 // Exchange parities: the policy and publish slots flip
@@ -1518,6 +1543,7 @@ mod tests {
                 measure,
                 2,
                 cap,
+                RouteTableMode::Auto,
             )
         };
         let capped = run(Some(1));

@@ -28,7 +28,7 @@ use lumen_desim::{Engine, EventQueue, Picos, SimModel};
 use lumen_noc::flit::Flit;
 use lumen_noc::ids::{LinkId, VcId};
 use lumen_noc::network::Effect;
-use lumen_noc::{Network, Packet};
+use lumen_noc::{Network, Packet, RouteTableMode};
 use lumen_opto::link::OperatingPoint;
 use lumen_opto::{Gbps, LinkPowerModel, MilliWatts};
 use lumen_policy::{
@@ -212,6 +212,7 @@ impl PowerAwareSim {
             source,
             sample_every,
             TelemetryConfig::default(),
+            RouteTableMode::Auto,
             false,
             None,
         )
@@ -226,7 +227,28 @@ impl PowerAwareSim {
         sample_every: Option<u64>,
         telemetry: TelemetryConfig,
     ) -> Engine<PowerAwareSim> {
-        Self::build_engine_inner(config, source, sample_every, telemetry, false, None)
+        Self::build_engine_with_route_table(
+            config,
+            source,
+            sample_every,
+            telemetry,
+            RouteTableMode::Auto,
+        )
+    }
+
+    /// [`PowerAwareSim::build_engine_telemetry`] with an explicit
+    /// [`RouteTableMode`]: `Off` forces on-the-fly routing (the
+    /// before/after rows in `perf_events` and the bit-identity
+    /// differential tests), `Shared` adopts a table built once for many
+    /// engines. Simulation output is bit-identical across modes.
+    pub fn build_engine_with_route_table(
+        config: SystemConfig,
+        source: Box<dyn TrafficSource + Send>,
+        sample_every: Option<u64>,
+        telemetry: TelemetryConfig,
+        route_table: RouteTableMode,
+    ) -> Engine<PowerAwareSim> {
+        Self::build_engine_inner(config, source, sample_every, telemetry, route_table, false, None)
     }
 
     /// Builds one shard replica of the system for the conservative-parallel
@@ -237,6 +259,7 @@ impl PowerAwareSim {
         source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
         telemetry: TelemetryConfig,
+        route_table: RouteTableMode,
         ctx: crate::shard::ShardCtx,
     ) -> Engine<PowerAwareSim> {
         Self::build_engine_inner(
@@ -244,6 +267,7 @@ impl PowerAwareSim {
             source,
             sample_every,
             telemetry,
+            route_table,
             false,
             Some(Box::new(ctx)),
         )
@@ -264,21 +288,24 @@ impl PowerAwareSim {
             source,
             sample_every,
             TelemetryConfig::default(),
+            RouteTableMode::Auto,
             true,
             None,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_engine_inner(
         config: SystemConfig,
         source: Box<dyn TrafficSource + Send>,
         sample_every: Option<u64>,
         telemetry: TelemetryConfig,
+        route_table: RouteTableMode,
         reference_queue: bool,
         shard: Option<Box<crate::shard::ShardCtx>>,
     ) -> Engine<PowerAwareSim> {
         config.validate();
-        let net = Network::new(&config.noc);
+        let net = Network::with_route_table(&config.noc, config.noc.routing, route_table);
         let model = config.link_model();
         let cycle = config.noc.cycle();
         let link_count = net.link_count();

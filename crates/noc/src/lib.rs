@@ -59,6 +59,7 @@ pub mod ids;
 pub mod link;
 pub mod network;
 pub mod node;
+pub mod route_table;
 pub mod router;
 pub mod routing;
 pub mod stats;
@@ -69,5 +70,6 @@ pub use config::NocConfig;
 pub use flit::{Flit, FlitKind, Packet};
 pub use ids::{Direction, LinkId, NodeId, PacketId, PortId, RackCoord, RouterId, VcId};
 pub use network::{Effect, Network};
+pub use route_table::{RouteSet, RouteTable, RouteTableMode};
 pub use stats::{LinkClassStats, NetworkSnapshot};
 pub use topology::{BuiltinTopology, Channel, Topology, TopologyKind};

@@ -14,6 +14,7 @@ use crate::flit::{Flit, Packet};
 use crate::ids::{LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 use crate::link::{Endpoint, Link, LinkKind};
 use crate::node::{SinkNode, SourceNode};
+use crate::route_table::{RouteTable, RouteTableMode};
 use crate::router::Router;
 use crate::routing::RoutingAlgorithm;
 use crate::topology::Topology;
@@ -70,6 +71,11 @@ pub struct Network {
     sources: Vec<SourceNode>,
     sinks: Vec<SinkNode>,
     links: Vec<Link>,
+    // Precomputed flat routing table serving the RC stage (see
+    // `crate::route_table`); `None` routes on the fly. Shared by `Arc` so
+    // shard replicas adopt one build instead of each redoing the
+    // all-pairs enumeration.
+    route_table: Option<std::sync::Arc<RouteTable>>,
     // Dense copies of each link's endpoints (fixed at construction).
     // `Link` is a large struct (rate ladder state, window statistics), so
     // the per-event delivery paths — ~2 lookups per flit hop, tens of
@@ -94,7 +100,36 @@ impl Network {
     ///
     /// Panics if the configuration is invalid (see [`NocConfig::validate`]).
     pub fn with_routing(config: &NocConfig, routing: RoutingAlgorithm) -> Self {
+        Network::with_route_table(config, routing, RouteTableMode::Auto)
+    }
+
+    /// Builds the network with an explicit routing algorithm and route-
+    /// table mode: [`RouteTableMode::Auto`] precomputes the flat table
+    /// (unless `LUMEN_ROUTE_TABLE=off`), [`RouteTableMode::Off`] routes
+    /// on the fly, and [`RouteTableMode::Shared`] adopts a table built
+    /// once for many replicas (the sharded backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NocConfig::validate`])
+    /// or a shared table does not match it.
+    pub fn with_route_table(
+        config: &NocConfig,
+        routing: RoutingAlgorithm,
+        mode: RouteTableMode,
+    ) -> Self {
         config.validate();
+        // Resolve against the *effective* algorithm: `with_routing` may
+        // override the config's choice, and the table must serve the
+        // algorithm the routers actually run.
+        let route_table = match mode {
+            RouteTableMode::Auto => RouteTable::shared(config, routing),
+            other => {
+                let mut cfg = config.clone();
+                cfg.routing = routing;
+                other.resolve(&cfg)
+            }
+        };
         let topo = config.topo();
         let mut routers: Vec<Router> = (0..topo.router_count())
             .map(|r| Router::new(RouterId(r as u32), routing, config))
@@ -181,11 +216,18 @@ impl Network {
             sources,
             sinks,
             links,
+            route_table,
             to_ep,
             from_ep,
             inter_router_links,
             ticks: 0,
         }
+    }
+
+    /// The precomputed route table serving this network's RC stage, if
+    /// any (`None` when routing on the fly).
+    pub fn route_table(&self) -> Option<&std::sync::Arc<RouteTable>> {
+        self.route_table.as_ref()
     }
 
     /// The configuration the network was built with.
@@ -282,8 +324,9 @@ impl Network {
         for src in &mut self.sources {
             src.tick(now, &mut self.links, effects);
         }
+        let table = self.route_table.as_deref();
         for router in &mut self.routers {
-            router.tick(now, &self.config, &mut self.links, effects);
+            router.tick(now, &self.config, table, &mut self.links, effects);
         }
     }
 
@@ -304,8 +347,9 @@ impl Network {
         for src in &mut self.sources[nodes] {
             src.tick(now, &mut self.links, effects);
         }
+        let table = self.route_table.as_deref();
         for router in &mut self.routers[routers] {
-            router.tick(now, &self.config, &mut self.links, effects);
+            router.tick(now, &self.config, table, &mut self.links, effects);
         }
     }
 

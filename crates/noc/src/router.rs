@@ -24,6 +24,7 @@ use crate::flit::FlitKind;
 use crate::ids::{LinkId, PortId, RouterId, VcId};
 use crate::link::Link;
 use crate::network::Effect;
+use crate::route_table::{RouteSet, RouteTable};
 use crate::routing::{route_candidates, RoutingAlgorithm};
 use lumen_desim::Picos;
 
@@ -194,7 +195,10 @@ impl Router {
             outputs: (0..p).map(|_| OutputPort::new(config)).collect(),
             sa_rotate: 0,
             scratch_port_mask: vec![0; p],
-            scratch_routes: Vec::with_capacity(3),
+            // Sized to the candidate bound so the fallback RC path never
+            // grows it mid-run (audited: route_candidates pushes at most
+            // MAX_ROUTE_CANDIDATES ports, or a single ejection port).
+            scratch_routes: Vec::with_capacity(crate::route_table::MAX_ROUTE_CANDIDATES),
             flits_switched: 0,
             flits_accepted: 0,
             sa_denials: 0,
@@ -214,11 +218,14 @@ impl Router {
     /// One core-clock cycle: SA/ST, then VA, then RC, then statistics.
     ///
     /// `links` is the network-global link table; emitted flit departures
-    /// and credit returns are appended to `effects`.
+    /// and credit returns are appended to `effects`. `route_table`, when
+    /// present, serves RC with precomputed candidates (identical order);
+    /// `None` routes on the fly.
     pub fn tick(
         &mut self,
         now: Picos,
         config: &NocConfig,
+        route_table: Option<&RouteTable>,
         links: &mut [Link],
         effects: &mut Vec<Effect>,
     ) {
@@ -227,7 +234,7 @@ impl Router {
         }
         self.switch_allocation(now, config, links, effects);
         self.vc_allocation(config);
-        self.route_computation(config);
+        self.route_computation(config, route_table);
         for input in &mut self.inputs {
             input.occupancy_accum += input.buffer.total_occupancy() as u64;
         }
@@ -411,7 +418,7 @@ impl Router {
     /// preferring ready links (not mid-transition) with the most
     /// downstream credits — which makes routing *power-aware*: traffic
     /// steers around links parked at low rates or disabled for relock.
-    fn route_computation(&mut self, config: &NocConfig) {
+    fn route_computation(&mut self, config: &NocConfig, table: Option<&RouteTable>) {
         let vcs = config.vcs as usize;
         // Every rc_ready VC (Idle with a buffered head flit) computes its
         // route this cycle, so the whole word empties; take it up front.
@@ -431,13 +438,31 @@ impl Router {
                     "non-head flit {front} at front of idle VC: wormhole order violated"
                 );
                 let dst = front.dst;
-                route_candidates(config, self.routing, self.id, dst, &mut self.scratch_routes);
-                let out_port = if self.scratch_routes.len() == 1 {
-                    self.scratch_routes[0]
+                // The hot path: one indexed load from the precomputed
+                // table. The fallback (LUMEN_ROUTE_TABLE=off, oversized
+                // tables) recomputes through the topology; both yield the
+                // same candidates in the same order, so selection below is
+                // bit-identical either way.
+                let candidates = match table {
+                    Some(t) => t.candidates(self.id, dst),
+                    None => {
+                        route_candidates(
+                            config,
+                            self.routing,
+                            self.id,
+                            dst,
+                            &mut self.scratch_routes,
+                        );
+                        RouteSet::from_slice(&self.scratch_routes)
+                    }
+                };
+                let cands = candidates.as_slice();
+                let out_port = if cands.len() == 1 {
+                    cands[0]
                 } else {
-                    let mut best = self.scratch_routes[0];
+                    let mut best = cands[0];
                     let mut best_score = -1i64;
-                    for &cand in &self.scratch_routes {
+                    for &cand in cands {
                         let out = &self.outputs[cand.0 as usize];
                         let free_vc = out.vc_owner.iter().filter(|o| o.is_none()).count() as i64;
                         let credits: i64 =
@@ -517,6 +542,7 @@ mod tests {
     struct Harness {
         config: NocConfig,
         router: Router,
+        table: Option<std::sync::Arc<RouteTable>>,
         links: Vec<Link>,
         effects: Vec<Effect>,
         now: Picos,
@@ -556,9 +582,13 @@ mod tests {
             router.outputs[0].link = Some(LinkId(0));
             router.outputs[4].link = Some(LinkId(1));
             router.inputs[1].feeder = Some(LinkId(7)); // pretend injection feeder
+            // Honors LUMEN_ROUTE_TABLE, so the suite covers the fallback
+            // RC path too when CI replays with the table disabled.
+            let table = RouteTable::shared(&config, RoutingAlgorithm::XY);
             Harness {
                 config,
                 router,
+                table,
                 links: vec![eject, east],
                 effects: Vec::new(),
                 now: Picos::ZERO,
@@ -566,8 +596,13 @@ mod tests {
         }
 
         fn tick(&mut self) {
-            self.router
-                .tick(self.now, &self.config, &mut self.links, &mut self.effects);
+            self.router.tick(
+                self.now,
+                &self.config,
+                self.table.as_deref(),
+                &mut self.links,
+                &mut self.effects,
+            );
             self.now += self.config.cycle();
         }
     }

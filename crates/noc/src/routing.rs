@@ -112,9 +112,18 @@ pub fn route_candidates(
 /// the first (most deterministic) candidate; adaptive selection happens
 /// in the router via [`route_candidates`].
 pub fn route(config: &NocConfig, algo: RoutingAlgorithm, here: RouterId, dst: NodeId) -> PortId {
-    let mut candidates = Vec::new();
-    route_candidates(config, algo, here, dst, &mut candidates);
-    candidates[0]
+    // A thread-local scratch keeps this allocation-free per call (traffic
+    // patterns and tests loop over it; the router hot path uses the
+    // precomputed table in `crate::route_table` instead).
+    std::thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<PortId>> =
+            std::cell::RefCell::new(Vec::with_capacity(crate::route_table::MAX_ROUTE_CANDIDATES));
+    }
+    SCRATCH.with(|scratch| {
+        let mut candidates = scratch.borrow_mut();
+        route_candidates(config, algo, here, dst, &mut candidates);
+        candidates[0]
+    })
 }
 
 /// Number of router-to-router hops of a minimal path (on the mesh, the
