@@ -39,6 +39,7 @@ struct DseArgs {
     survivors: Option<usize>,
     batch: Option<usize>,
     min_delivery: f64,
+    warm_start: bool,
 }
 
 impl Default for DseArgs {
@@ -50,6 +51,7 @@ impl Default for DseArgs {
             survivors: None,
             batch: None,
             min_delivery: 0.99,
+            warm_start: false,
         }
     }
 }
@@ -88,6 +90,7 @@ fn parse_extras(extras: &[String]) -> Result<DseArgs, String> {
                 }
                 args.min_delivery = v;
             }
+            "--warm-start" => args.warm_start = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -114,7 +117,11 @@ fn usage() -> String {
          \x20                  (default 6, or 3 under --quick)\n\
          \x20 --batch N        TPE generation size — a search parameter,\n\
          \x20                  independent of --jobs (default 8 / 5)\n\
-         \x20 --min-delivery X delivery-ratio constraint floor (default 0.99)",
+         \x20 --min-delivery X delivery-ratio constraint floor (default 0.99)\n\
+         \x20 --warm-start     survivors resume from checkpoints saved at the\n\
+         \x20                  end of their quick trial instead of replaying\n\
+         \x20                  warmup; full-fidelity objectives are unchanged\n\
+         \x20                  bit for bit (non-prefix workloads run cold)",
         BenchArgs::usage()
     )
 }
@@ -236,17 +243,19 @@ fn main() {
         min_delivery: dse_args.min_delivery,
         sampler_seed: dse_args.seed,
         quick_divisor: 10,
+        warm_start: dse_args.warm_start,
     };
     dse.validate();
 
     let scenarios = scenarios(&args, &dse_args, scale);
     let executor = args.executor();
     println!(
-        "\n{} scenarios x ({} quick trials -> {} full survivors), batch {}, \
+        "\n{} scenarios x ({} quick trials -> {} full survivors{}), batch {}, \
          delivery floor {:.2}, seed {}, {} thread(s), {} shard(s)",
         scenarios.len(),
         dse.trials,
         dse.survivors,
+        if dse.warm_start { ", warm-started" } else { "" },
         dse.batch,
         dse.min_delivery,
         dse_args.seed,

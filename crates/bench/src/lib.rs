@@ -10,7 +10,7 @@
 //! (`--qiuck`) cannot silently trigger a full-scale run.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -66,6 +66,18 @@ pub struct BenchArgs {
     /// harnesses that call [`BenchArgs::apply_topology`] honour it; see
     /// TOPOLOGIES.md for what each geometry means.
     pub topology: Option<TopologyKind>,
+    /// Mid-run checkpointing (`--checkpoint PATH@CYCLE`): every point
+    /// saves a `lumen-ckpt/1` snapshot at the given router cycle and then
+    /// runs to completion. Multi-point sweeps write one file per point
+    /// (`PATH.<label>`); a single-point run uses `PATH` verbatim. Only
+    /// harnesses that call [`BenchArgs::apply_run_control`] honour it;
+    /// see CHECKPOINTS.md.
+    pub checkpoint: Option<(String, u64)>,
+    /// Resume source (`--resume PATH`): every point restores the snapshot
+    /// a previous `--checkpoint` run wrote (same per-point path rule) and
+    /// replays from there — bit-identical to the unbroken run. Mutually
+    /// exclusive with `--checkpoint`.
+    pub resume: Option<String>,
 }
 
 impl BenchArgs {
@@ -116,6 +128,8 @@ impl BenchArgs {
         let mut shards = 1usize;
         let mut trace = None;
         let mut topology = None;
+        let mut checkpoint = None;
+        let mut resume = None;
         let mut extras = Vec::new();
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
@@ -146,6 +160,18 @@ impl BenchArgs {
                     })?;
                     topology = Some(parse_topology(value)?);
                 }
+                "--checkpoint" => {
+                    let value = it.next().ok_or_else(|| {
+                        ParseOutcome::Error("`--checkpoint` needs PATH@CYCLE".into())
+                    })?;
+                    checkpoint = Some(parse_checkpoint(value)?);
+                }
+                "--resume" => {
+                    let value = it.next().ok_or_else(|| {
+                        ParseOutcome::Error("`--resume` needs a checkpoint path".into())
+                    })?;
+                    resume = Some(parse_resume(value)?);
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--jobs=") {
                         jobs = parse_jobs(value)?;
@@ -155,11 +181,22 @@ impl BenchArgs {
                         trace = Some(parse_trace(value)?);
                     } else if let Some(value) = other.strip_prefix("--topology=") {
                         topology = Some(parse_topology(value)?);
+                    } else if let Some(value) = other.strip_prefix("--checkpoint=") {
+                        checkpoint = Some(parse_checkpoint(value)?);
+                    } else if let Some(value) = other.strip_prefix("--resume=") {
+                        resume = Some(parse_resume(value)?);
                     } else {
                         extras.push(other.to_string());
                     }
                 }
             }
+        }
+        if checkpoint.is_some() && resume.is_some() {
+            return Err(ParseOutcome::Error(
+                "`--checkpoint` and `--resume` cannot be combined in one run; \
+                 save first, then resume"
+                    .into(),
+            ));
         }
         Ok((
             BenchArgs {
@@ -168,6 +205,8 @@ impl BenchArgs {
                 shards,
                 trace,
                 topology,
+                checkpoint,
+                resume,
             },
             extras,
         ))
@@ -185,6 +224,31 @@ impl BenchArgs {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Applies `--checkpoint PATH@CYCLE` / `--resume PATH` to every point
+    /// of a sweep (a no-op when neither flag was given). Multi-point
+    /// sweeps derive one checkpoint file per point by appending the
+    /// point's slugged label to `PATH`; a single-point run uses `PATH`
+    /// verbatim, so a `--checkpoint` run and the matching `--resume` run
+    /// agree on the files as long as the harness invocation is the same.
+    /// Checkpointed and resumed points run on the sequential engine (see
+    /// CHECKPOINTS.md); results stay bit-identical to any `--shards N`.
+    pub fn apply_run_control(&self, points: &mut [Point]) {
+        if self.checkpoint.is_none() && self.resume.is_none() {
+            return;
+        }
+        let solo = points.len() == 1;
+        for point in points.iter_mut() {
+            let exp = point.experiment.clone();
+            point.experiment = if let Some((base, cycle)) = &self.checkpoint {
+                exp.save_at(*cycle, point_ckpt(base, &point.label, solo))
+            } else if let Some(base) = &self.resume {
+                exp.resume(point_ckpt(base, &point.label, solo))
+            } else {
+                unreachable!("guarded above")
+            };
         }
     }
 
@@ -246,6 +310,12 @@ impl BenchArgs {
              \x20 --topology T     fabric geometry for harnesses that\n\
              \x20                  support it: mesh, torus, or\n\
              \x20                  folded-clos[:spines] (see TOPOLOGIES.md)\n\
+             \x20 --checkpoint P@C save a lumen-ckpt/1 snapshot of every\n\
+             \x20                  point at router cycle C to path P, then\n\
+             \x20                  run to completion (see CHECKPOINTS.md)\n\
+             \x20 --resume P       restore every point from the snapshot a\n\
+             \x20                  --checkpoint run wrote to P and replay —\n\
+             \x20                  bit-identical to the unbroken run\n\
              \x20 --help, -h       show this message",
             Executor::available().jobs()
         )
@@ -296,6 +366,46 @@ fn parse_topology(value: &str) -> Result<TopologyKind, ParseOutcome> {
             )))
         }
     }
+}
+
+fn parse_checkpoint(value: &str) -> Result<(String, u64), ParseOutcome> {
+    let bad = || {
+        ParseOutcome::Error(format!(
+            "`--checkpoint` needs PATH@CYCLE with a positive cycle, got `{value}`"
+        ))
+    };
+    // Split at the *last* `@` so paths containing `@` still work.
+    let (path, cycle) = value.rsplit_once('@').ok_or_else(bad)?;
+    if path.is_empty() || path.starts_with('-') {
+        return Err(bad());
+    }
+    match cycle.parse::<u64>() {
+        Ok(c) if c >= 1 => Ok((path.to_string(), c)),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_resume(value: &str) -> Result<String, ParseOutcome> {
+    if value.is_empty() || value.starts_with('-') {
+        Err(ParseOutcome::Error(format!(
+            "`--resume` needs a checkpoint path, got `{value}`"
+        )))
+    } else {
+        Ok(value.to_string())
+    }
+}
+
+/// The checkpoint file for one point of a sweep: the base path verbatim
+/// for a single-point run, `BASE.<slugged-label>` otherwise.
+fn point_ckpt(base: &str, label: &str, solo: bool) -> std::path::PathBuf {
+    if solo {
+        return base.into();
+    }
+    let slug: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    format!("{base}.{slug}").into()
 }
 
 fn parse_trace(value: &str) -> Result<String, ParseOutcome> {
@@ -373,13 +483,13 @@ pub fn run_points(executor: &Executor, points: &[Point]) -> Vec<RunResult> {
     let total = points.len();
     let results = executor.run_with_progress(points, |pr| {
         let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-        let status = if pr.run_result().is_some() {
-            "ok"
-        } else {
-            "FAILED"
+        let status = match pr.run_result() {
+            Some(r) if r.resumed => "resumed",
+            Some(_) => "ok",
+            None => "FAILED",
         };
         eprintln!(
-            "  [{k:>3}/{total}] {:<28} {status:>6}  {:.1}s",
+            "  [{k:>3}/{total}] {:<28} {status:>7}  {:.1}s",
             pr.label,
             pr.elapsed.as_secs_f64()
         );
@@ -399,13 +509,21 @@ pub fn run_points(executor: &Executor, points: &[Point]) -> Vec<RunResult> {
         failures.len(),
         failures.join("\n")
     );
-    results
+    let results: Vec<RunResult> = results
         .into_iter()
         .map(|pr| match pr.outcome {
             Ok(r) => r,
             Err(_) => unreachable!("failures checked above"),
         })
-        .collect()
+        .collect();
+    // Provenance header: recorded results/*.txt must not silently mix
+    // resumed and unbroken runs (they are bit-identical, but a reader
+    // comparing wall-clocks or re-running from scratch needs to know).
+    let resumed = results.iter().filter(|r| r.resumed).count();
+    if resumed > 0 {
+        println!("provenance: {resumed} of {total} points resumed from checkpoints (--resume)");
+    }
+    results
 }
 
 /// The paper's defaults for synthetic uniform-random experiments.
@@ -518,6 +636,87 @@ mod tests {
             let a = BenchArgs::try_parse(&form).unwrap();
             assert_eq!(a.trace.as_deref(), Some("out.jsonl"), "{form:?}");
             assert_eq!(a.telemetry(), lumen_core::TelemetryConfig::full());
+        }
+    }
+
+    #[test]
+    fn args_checkpoint_and_resume_forms() {
+        for form in [
+            argv(&["--checkpoint", "state.ckpt@50000"]),
+            argv(&["--checkpoint=state.ckpt@50000"]),
+        ] {
+            let a = BenchArgs::try_parse(&form).unwrap();
+            assert_eq!(a.checkpoint, Some(("state.ckpt".into(), 50_000)), "{form:?}");
+        }
+        // `@` in the directory part: split at the last `@`.
+        let a = BenchArgs::try_parse(&argv(&["--checkpoint", "runs@v2/s.ckpt@9"])).unwrap();
+        assert_eq!(a.checkpoint, Some(("runs@v2/s.ckpt".into(), 9)));
+        for form in [argv(&["--resume", "state.ckpt"]), argv(&["--resume=state.ckpt"])] {
+            let a = BenchArgs::try_parse(&form).unwrap();
+            assert_eq!(a.resume.as_deref(), Some("state.ckpt"), "{form:?}");
+        }
+        for bad in [
+            argv(&["--checkpoint"]),
+            argv(&["--checkpoint", "no-cycle"]),
+            argv(&["--checkpoint", "p@0"]),
+            argv(&["--checkpoint", "p@x"]),
+            argv(&["--checkpoint", "@5"]),
+            argv(&["--resume"]),
+            argv(&["--resume="]),
+            argv(&["--resume", "--quick"]),
+            argv(&["--checkpoint", "p@5", "--resume", "p"]),
+        ] {
+            assert!(
+                matches!(BenchArgs::try_parse(&bad), Err(ParseOutcome::Error(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn run_control_round_trips_a_sweep() {
+        let mut config = SystemConfig::paper_default();
+        config.noc = lumen_noc::NocConfig::small_for_tests();
+        config.policy.timing.tw_cycles = 200;
+        let exp = Experiment::new(config)
+            .warmup_cycles(300)
+            .measure_cycles(1_500);
+        let workload = Workload::Uniform {
+            rate: 0.1,
+            size: PacketSize::Fixed(4),
+        };
+        let mk_points = || {
+            vec![
+                Point::new("load 0.1", exp.clone(), workload.clone()),
+                Point::new("load 0.1 (b)", exp.clone(), workload.clone()),
+            ]
+        };
+        let base = std::env::temp_dir().join(format!("lumen-bench-rc-{}", std::process::id()));
+        let base = base.to_str().unwrap().to_string();
+        let parse = |argv_: &[String]| BenchArgs::try_parse(argv_).unwrap();
+
+        let unbroken = run_points(&Executor::new(1), &mk_points());
+
+        let mut saving = mk_points();
+        parse(&argv(&[&format!("--checkpoint={base}@800")])).apply_run_control(&mut saving);
+        let saved = run_points(&Executor::new(1), &saving);
+
+        let mut resuming = mk_points();
+        parse(&argv(&[&format!("--resume={base}")])).apply_run_control(&mut resuming);
+        let resumed = run_points(&Executor::new(1), &resuming);
+        // Two points → two per-label files.
+        std::fs::remove_file(format!("{base}.load-0-1")).unwrap();
+        std::fs::remove_file(format!("{base}.load-0-1--b-")).unwrap();
+
+        // Under LUMEN_TEST_CHECKPOINT=1 the plain runs are themselves
+        // split in-memory, so only the saving run is guaranteed cold.
+        let env_split = std::env::var("LUMEN_TEST_CHECKPOINT").is_ok_and(|v| v == "1");
+        for ((u, s), r) in unbroken.iter().zip(&saved).zip(&resumed) {
+            assert!(u.resumed == env_split && !s.resumed && r.resumed);
+            assert_eq!(u.packets_delivered, s.packets_delivered);
+            assert_eq!(u.packets_delivered, r.packets_delivered);
+            assert_eq!(u.avg_power_mw.to_bits(), r.avg_power_mw.to_bits());
+            assert_eq!(u.avg_latency_cycles.to_bits(), r.avg_latency_cycles.to_bits());
         }
     }
 
@@ -692,6 +891,8 @@ mod tests {
             shards: 1,
             trace: Some(jsonl.to_str().unwrap().into()),
             topology: None,
+            checkpoint: None,
+            resume: None,
         };
         write_trace(&args, &points, &results);
         let text = std::fs::read_to_string(&jsonl).unwrap();

@@ -151,7 +151,7 @@ impl Default for FaultConfig {
 /// each kind begins, tells it when begin/end events fire, and queries
 /// per-flit corruption during active dropouts. All draws come from
 /// per-link sub-streams of the master seed's [`FAULT_STREAM`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultPlan {
     config: FaultConfig,
     cycle: Picos,

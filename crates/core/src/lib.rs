@@ -39,8 +39,9 @@
 //!   figures).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod exec;
 pub mod fault;
@@ -69,6 +70,7 @@ pub mod prelude {
     };
 }
 
+pub use checkpoint::{Checkpoint, CheckpointError, CKPT_SCHEMA};
 pub use config::SystemConfig;
 pub use exec::{Executor, Point, PointError, PointResult, Workload};
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FAULT_STREAM};

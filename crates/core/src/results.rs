@@ -57,6 +57,12 @@ pub struct RunResult {
     /// unless the experiment enabled it via
     /// [`Experiment::telemetry`](crate::Experiment::telemetry).
     pub telemetry: Option<TelemetryReport>,
+    /// Provenance: true when this run was resumed from a checkpoint
+    /// ([`Experiment::resume`](crate::Experiment::resume)) instead of
+    /// simulated unbroken from cycle 0. Resumed runs are bit-identical
+    /// to unbroken ones; the flag only records how the result was
+    /// produced (harness tables surface it).
+    pub resumed: bool,
 }
 
 impl RunResult {
@@ -260,6 +266,7 @@ mod tests {
             power_series: TimeSeries::new("p"),
             injection_series: TimeSeries::new("i"),
             telemetry: None,
+            resumed: false,
         }
     }
 

@@ -1,11 +1,14 @@
 //! Experiment orchestration: warmup, measurement, and result collection.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::SystemConfig;
 use crate::results::RunResult;
+use crate::sim::PowerAwareSim;
 use crate::telemetry::TelemetryConfig;
-use lumen_desim::Rng;
+use lumen_desim::{Engine, Picos, Rng};
 use lumen_noc::RouteTableMode;
 use lumen_traffic::{PacketSize, Pattern, RateProfile, SplashApp, SyntheticSource, TrafficSource};
+use std::path::PathBuf;
 
 /// The injection rate (packets/cycle) of the near-idle run that anchors
 /// the paper's saturation-throughput definition (§4.1).
@@ -13,6 +16,29 @@ pub const ZERO_LOAD_RATE: f64 = 0.01;
 
 /// A configured experiment: one system, a warmup phase whose statistics
 /// are discarded, and a measurement phase.
+///
+/// A run can be split anywhere with [`Experiment::save_at`] /
+/// [`Experiment::resume`]; the two halves replay bit-identically to the
+/// unbroken run:
+///
+/// ```
+/// use lumen_core::prelude::*;
+///
+/// let mut config = SystemConfig::paper_default();
+/// config.noc = NocConfig::small_for_tests();
+/// let exp = Experiment::new(config).warmup_cycles(500).measure_cycles(2_000);
+/// let size = PacketSize::Fixed(5);
+///
+/// let path = std::env::temp_dir().join(format!("lumen-doc-{}.ckpt", std::process::id()));
+/// let unbroken = exp.clone().run_uniform(0.10, size);
+/// exp.clone().save_at(1_200, &path).run_uniform(0.10, size);
+/// let resumed = exp.resume(&path).run_uniform(0.10, size);
+/// std::fs::remove_file(&path).ok();
+///
+/// assert!(resumed.resumed);
+/// assert_eq!(unbroken.packets_delivered, resumed.packets_delivered);
+/// assert_eq!(unbroken.avg_power_mw.to_bits(), resumed.avg_power_mw.to_bits());
+/// ```
 #[derive(Debug, Clone)]
 pub struct Experiment {
     config: SystemConfig,
@@ -24,6 +50,8 @@ pub struct Experiment {
     lookahead_cap: Option<u64>,
     telemetry: TelemetryConfig,
     route_table: RouteTableMode,
+    save: Option<(u64, PathBuf)>,
+    resume_from: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -43,7 +71,34 @@ impl Experiment {
             lookahead_cap: None,
             telemetry: TelemetryConfig::default(),
             route_table: RouteTableMode::Auto,
+            save: None,
+            resume_from: None,
         }
+    }
+
+    /// Saves a [`Checkpoint`] to `path` when the run reaches `cycle`
+    /// (counted from cycle 0, warmup included), then continues to the
+    /// end. "At cycle `c`" means after core tick `c` and every event at
+    /// time ≤ `c` cycles — so a later [`Experiment::resume`] continues
+    /// bit-identically to the unbroken run. Saving at the final cycle is
+    /// allowed (an end-of-run snapshot, used for warm-started search).
+    /// Checkpointed runs execute on the sequential engine regardless of
+    /// the configured shard count; shard count is a pure performance
+    /// knob, so results are unchanged (see `CHECKPOINTS.md`).
+    pub fn save_at(mut self, cycle: u64, path: impl Into<PathBuf>) -> Self {
+        self.save = Some((cycle, path.into()));
+        self
+    }
+
+    /// Resumes a run from a checkpoint file written by
+    /// [`Experiment::save_at`], instead of starting from cycle 0. The
+    /// checkpoint must come from an experiment with the same
+    /// configuration, warmup, and sampling; the measurement horizon may
+    /// differ (a warm-started run may measure longer than the run that
+    /// saved). The resumed run's [`RunResult::resumed`] flag is set.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
     }
 
     /// Sets the route-table mode (default [`RouteTableMode::Auto`]:
@@ -140,11 +195,50 @@ impl Experiment {
         &self.config
     }
 
+    /// True when this run must execute on the sequential engine:
+    /// checkpoint capture/restore and bounded telemetry retention both
+    /// snapshot engine-local state that the sharded backend distributes
+    /// across replicas. Shard count is a pinned pure-performance knob
+    /// (results are bit-identical at every count), so forcing the
+    /// sequential engine changes nothing observable.
+    fn needs_sequential(&self) -> bool {
+        self.save.is_some()
+            || self.resume_from.is_some()
+            || self.telemetry.retain_windows.is_some()
+    }
+
     /// Runs the experiment with an arbitrary traffic source, on the
     /// configured shard count (sequentially for 1 shard, or on the
     /// conservative-parallel backend otherwise — same results either
-    /// way, bit for bit).
+    /// way, bit for bit). Checkpointing runs ([`Experiment::save_at`] /
+    /// [`Experiment::resume`]) and runs with bounded telemetry retention
+    /// execute on the sequential engine.
     pub fn run(&self, source: Box<dyn TrafficSource + Send>) -> RunResult {
+        if let Some(path) = self.resume_from.clone() {
+            assert!(
+                self.save.is_none(),
+                "resume + save_at in one run is not supported; resume, then save from that run"
+            );
+            let ckpt = Checkpoint::read_from(&path)
+                .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+            return self.run_resumed(ckpt, source);
+        }
+        if let Some((cycle, path)) = self.save.clone() {
+            return self.run_with_save(source, cycle, &path);
+        }
+        // LUMEN_TEST_CHECKPOINT=1: route every eligible run through an
+        // in-memory save/resume split at mid-horizon. Tier-1 tests then
+        // exercise the checkpoint path end-to-end — every assertion they
+        // make about unbroken runs must hold for split runs too.
+        if std::env::var("LUMEN_TEST_CHECKPOINT").is_ok_and(|v| v == "1")
+            && source.checkpoint_state().is_some()
+        {
+            let mid = (self.warmup_cycles + self.measure_cycles) / 2;
+            let (ckpt, engine) = self.run_prefix(source, mid);
+            let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("checkpoint round trip");
+            return self.run_resumed(ckpt, engine.into_model().source);
+        }
+        let shards = if self.needs_sequential() { 1 } else { self.shards };
         let outcome = crate::shard::run_sharded_with(
             self.config.clone(),
             source,
@@ -152,11 +246,152 @@ impl Experiment {
             self.telemetry,
             self.warmup_cycles,
             self.measure_cycles,
-            self.shards,
+            shards,
             self.lookahead_cap,
             self.route_table.clone(),
         );
-        let (mut sim, end) = (outcome.sim, outcome.end);
+        self.collect(outcome.sim, outcome.end, outcome.events, false)
+    }
+
+    /// Builds the sequential engine and runs it up to `upto` cycles
+    /// (warmup included), capturing a [`Checkpoint`] there. The engine is
+    /// returned still live — the calendar is intact (captured events are
+    /// re-scheduled in drain order), so the caller can keep running it.
+    fn run_prefix(
+        &self,
+        source: Box<dyn TrafficSource + Send>,
+        upto: u64,
+    ) -> (Checkpoint, Engine<PowerAwareSim>) {
+        let total = self.warmup_cycles + self.measure_cycles;
+        assert!(
+            upto <= total,
+            "checkpoint cycle {upto} is beyond the run's {total}-cycle horizon"
+        );
+        assert!(
+            source.checkpoint_state().is_some(),
+            "this traffic source is not checkpointable"
+        );
+        let mut engine = PowerAwareSim::build_engine_with_route_table(
+            self.config.clone(),
+            source,
+            self.sample_every,
+            self.telemetry,
+            self.route_table.clone(),
+        );
+        let cycle = engine.model().cycle;
+        if upto >= self.warmup_cycles {
+            engine.run_until(cycle * self.warmup_cycles);
+            let now = engine.now();
+            engine.model_mut().begin_measurement(now);
+        }
+        engine.run_until(cycle * upto);
+        // Capture non-destructively: drain the calendar, snapshot it, and
+        // re-schedule in drain order — ascending insertion sequence keeps
+        // same-time events in their original relative order.
+        let pending = engine.drain_pending();
+        for &(at, ev) in &pending {
+            engine.queue_mut().schedule(at, ev);
+        }
+        let ckpt = Checkpoint {
+            config: self.config.clone(),
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            sample_every: self.sample_every,
+            cycle: upto,
+            events: engine.processed(),
+            pending,
+            sim: engine.model().checkpoint_state(),
+            source: engine
+                .model()
+                .source
+                .checkpoint_state()
+                .expect("checked checkpointable above"),
+        };
+        (ckpt, engine)
+    }
+
+    /// The `save_at` run: sequential to the save point, checkpoint to
+    /// disk, then continue to the end on the same engine.
+    fn run_with_save(
+        &self,
+        source: Box<dyn TrafficSource + Send>,
+        save_cycle: u64,
+        path: &std::path::Path,
+    ) -> RunResult {
+        let (ckpt, mut engine) = self.run_prefix(source, save_cycle);
+        ckpt.write_to(path)
+            .unwrap_or_else(|e| panic!("cannot write checkpoint to {}: {e}", path.display()));
+        let cycle = engine.model().cycle;
+        if save_cycle < self.warmup_cycles {
+            engine.run_until(cycle * self.warmup_cycles);
+            let now = engine.now();
+            engine.model_mut().begin_measurement(now);
+        }
+        let end = cycle * (self.warmup_cycles + self.measure_cycles);
+        engine.run_until(end);
+        let events = engine.processed();
+        self.collect(engine.into_model(), end, events, false)
+    }
+
+    /// The resume path: rebuild a fresh system from configuration,
+    /// restore the checkpointed state into it, replay the saved calendar,
+    /// and run from the save point to the end.
+    fn run_resumed(&self, ckpt: Checkpoint, source: Box<dyn TrafficSource + Send>) -> RunResult {
+        assert!(
+            ckpt.config == self.config,
+            "checkpoint was saved from a different system configuration"
+        );
+        assert_eq!(
+            ckpt.warmup_cycles, self.warmup_cycles,
+            "checkpoint warmup differs from this experiment's"
+        );
+        assert_eq!(
+            ckpt.sample_every, self.sample_every,
+            "checkpoint sampling period differs from this experiment's"
+        );
+        let total = self.warmup_cycles + self.measure_cycles;
+        assert!(
+            ckpt.cycle <= total,
+            "checkpoint cycle {} is beyond this run's {total}-cycle horizon",
+            ckpt.cycle
+        );
+        let mut engine = PowerAwareSim::build_engine_with_route_table(
+            self.config.clone(),
+            source,
+            self.sample_every,
+            self.telemetry,
+            self.route_table.clone(),
+        );
+        // The fresh engine scheduled a cold start (tick 0, laser epoch,
+        // fault onsets); the checkpoint's calendar replaces all of it.
+        let _ = engine.drain_pending();
+        engine
+            .model_mut()
+            .restore_state(&ckpt.sim)
+            .unwrap_or_else(|e| panic!("checkpoint does not fit this system: {e}"));
+        engine
+            .model_mut()
+            .source
+            .restore_state(&ckpt.source)
+            .unwrap_or_else(|e| panic!("checkpoint does not fit this traffic source: {e}"));
+        for &(at, ev) in &ckpt.pending {
+            engine.queue_mut().schedule(at, ev);
+        }
+        let cycle = engine.model().cycle;
+        if ckpt.cycle < self.warmup_cycles {
+            engine.run_until(cycle * self.warmup_cycles);
+            let now = engine.now();
+            engine.model_mut().begin_measurement(now);
+        }
+        let end = cycle * total;
+        engine.run_until(end);
+        let events = ckpt.events + engine.processed();
+        self.collect(engine.into_model(), end, events, true)
+    }
+
+    /// Audits, finalizes telemetry, and assembles the [`RunResult`] —
+    /// shared by the sharded, save, and resume paths.
+    fn collect(&self, mut sim: PowerAwareSim, end: Picos, events: u64, resumed: bool) -> RunResult {
         // Telemetry with shards > 1 forces the audit even in release: the
         // exported counters must agree with the auditor's flit/credit
         // balance across every shard cut.
@@ -167,7 +402,7 @@ impl Experiment {
         if let Some(report) = audit_report.as_ref() {
             report.assert_ok();
         }
-        let telemetry = sim.take_telemetry_report(end, outcome.events);
+        let telemetry = sim.take_telemetry_report(end, events);
         if let (Some(t), Some(report)) = (telemetry.as_ref(), audit_report.as_ref()) {
             if self.telemetry.counters {
                 assert_eq!(
@@ -214,6 +449,7 @@ impl Experiment {
             power_series: pow_s.clone(),
             injection_series: inj_s.clone(),
             telemetry,
+            resumed,
         }
     }
 

@@ -37,9 +37,10 @@ use lumen_policy::{
 };
 use lumen_stats::{EnergyAccount, Histogram, Summary, TimeSeries};
 use lumen_traffic::TrafficSource;
+use serde::{Deserialize, Serialize, Value};
 
 /// The simulation's event alphabet.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SimEvent {
     /// One router-core clock edge (self-perpetuating).
     CoreTick,
@@ -610,6 +611,14 @@ impl PowerAwareSim {
         dvs + gate
     }
 
+    /// Telemetry rows currently held in memory (windowed series plus
+    /// closing rows), or `None` when telemetry is off. With bounded
+    /// retention ([`TelemetryConfig::retain_windows`]) this stays flat at
+    /// any horizon — the long-run harness reports it next to peak RSS.
+    pub fn telemetry_retained_rows(&self) -> Option<usize> {
+        self.telemetry.as_deref().map(|t| t.retained_rows())
+    }
+
     /// The recorded time series (empty unless sampling was enabled).
     pub fn series(&self) -> (&TimeSeries, &TimeSeries, &TimeSeries) {
         (
@@ -1143,7 +1152,7 @@ impl PowerAwareSim {
         let t = self.telemetry.as_deref_mut().expect("checked above");
         let energy_nj = energy - t.last_energy_nj[l];
         t.last_energy_nj[l] = energy;
-        t.rows.push(LinkWindowRow {
+        t.push_row(LinkWindowRow {
             cycle,
             t_ps: now.as_ps(),
             link: l as u32,
@@ -1155,6 +1164,7 @@ impl PowerAwareSim {
             power_mw,
             energy_nj,
             components_mw,
+            decimated: false,
         });
     }
 
@@ -1234,13 +1244,13 @@ impl PowerAwareSim {
     pub fn take_telemetry_report(&mut self, end: Picos, events: u64) -> Option<TelemetryReport> {
         self.telemetry.as_deref()?;
         self.telemetry_flush(end);
-        let t = *self.telemetry.take().expect("checked above");
+        let mut t = *self.telemetry.take().expect("checked above");
         let counters = if t.config.counters {
             self.collect_registry(events)
         } else {
             MetricsRegistry::default()
         };
-        let mut rows = t.rows;
+        let mut rows = t.take_rows();
         rows.sort_by(|a, b| (a.t_ps, a.link, a.closing).cmp(&(b.t_ps, b.link, b.closing)));
         Some(TelemetryReport {
             schema: TRACE_SCHEMA.to_string(),
@@ -1330,6 +1340,168 @@ impl PowerAwareSim {
         self.flits_dropped_at_measure += donor.flits_dropped_at_measure;
         self.flits_corrupted_at_measure += donor.flits_corrupted_at_measure;
         self.faults_at_measure += donor.faults_at_measure;
+    }
+
+    /// The sim's complete mutable state as a checkpoint [`Value`] tree.
+    ///
+    /// Serializes exactly the state that evolves during a run; everything
+    /// derivable from [`SystemConfig`] (the power model, the LUT, cycle
+    /// and window constants, routing tables) is rebuilt on restore. The
+    /// traffic source is *not* included — it lives beside the sim in
+    /// [`crate::Checkpoint`] because it is a trait object the sim does
+    /// not own the concrete type of.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a shard replica: checkpoints capture the
+    /// sequential engine only (see `CHECKPOINTS.md`).
+    pub(crate) fn checkpoint_state(&self) -> Value {
+        assert!(
+            self.shard.is_none(),
+            "checkpoints capture the sequential engine, not shard replicas"
+        );
+        let telemetry = match self.telemetry.as_deref() {
+            Some(t) => t.checkpoint_state(),
+            None => Value::Null,
+        };
+        Value::Map(vec![
+            ("net".into(), self.net.checkpoint_state()),
+            ("controllers".into(), self.controllers.serialize_value()),
+            ("onoff".into(), self.onoff.serialize_value()),
+            ("sleeping".into(), self.sleeping.serialize_value()),
+            ("lasers".into(), self.lasers.serialize_value()),
+            ("accounts".into(), self.accounts.serialize_value()),
+            ("current_point".into(), self.current_point.serialize_value()),
+            ("cycle_index".into(), self.cycle_index.serialize_value()),
+            ("faults".into(), self.faults.serialize_value()),
+            ("link_epoch".into(), self.link_epoch.serialize_value()),
+            ("measure_from".into(), self.measure_from.serialize_value()),
+            ("latency".into(), self.latency.serialize_value()),
+            ("latency_hist".into(), self.latency_hist.serialize_value()),
+            (
+                "packets_injected_measured".into(),
+                self.packets_injected_measured.serialize_value(),
+            ),
+            (
+                "packets_dropped_at_measure".into(),
+                self.packets_dropped_at_measure.serialize_value(),
+            ),
+            (
+                "flits_dropped_at_measure".into(),
+                self.flits_dropped_at_measure.serialize_value(),
+            ),
+            (
+                "flits_corrupted_at_measure".into(),
+                self.flits_corrupted_at_measure.serialize_value(),
+            ),
+            (
+                "faults_at_measure".into(),
+                self.faults_at_measure.serialize_value(),
+            ),
+            ("bucket_latency".into(), self.bucket_latency.serialize_value()),
+            ("bucket_injected".into(), self.bucket_injected.serialize_value()),
+            (
+                "last_sample_time".into(),
+                self.last_sample_time.serialize_value(),
+            ),
+            (
+                "last_sample_energy_nj".into(),
+                self.last_sample_energy_nj.serialize_value(),
+            ),
+            ("latency_series".into(), self.latency_series.serialize_value()),
+            ("power_series".into(), self.power_series.serialize_value()),
+            (
+                "injection_series".into(),
+                self.injection_series.serialize_value(),
+            ),
+            ("telemetry".into(), telemetry),
+        ])
+    }
+
+    /// Restores state captured by [`PowerAwareSim::checkpoint_state`] into
+    /// a freshly built sim of the *same* [`SystemConfig`]. Validates that
+    /// every per-link vector matches this system's link count, so loading
+    /// a checkpoint into a mismatched topology fails loudly instead of
+    /// silently corrupting state.
+    pub(crate) fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        assert!(
+            self.shard.is_none(),
+            "checkpoints restore onto the sequential engine, not shard replicas"
+        );
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "PowerAwareSim"))?;
+        let field = |name: &str| serde::map_field(map, name, "PowerAwareSim");
+        let links = self.net.link_count();
+        let controllers: Vec<LinkPolicyController> =
+            Vec::deserialize_value(field("controllers")?)?;
+        let onoff: Vec<OnOffController> = Vec::deserialize_value(field("onoff")?)?;
+        let lasers: Vec<LaserSourceController> = Vec::deserialize_value(field("lasers")?)?;
+        let accounts: Vec<EnergyAccount> = Vec::deserialize_value(field("accounts")?)?;
+        let current_point: Vec<OperatingPoint> =
+            Vec::deserialize_value(field("current_point")?)?;
+        let link_epoch: Vec<u64> = Vec::deserialize_value(field("link_epoch")?)?;
+        for (name, got, want) in [
+            ("controllers", controllers.len(), self.controllers.len()),
+            ("onoff", onoff.len(), self.onoff.len()),
+            ("lasers", lasers.len(), self.lasers.len()),
+            ("accounts", accounts.len(), links),
+            ("current_point", current_point.len(), links),
+            ("link_epoch", link_epoch.len(), links),
+        ] {
+            if got != want {
+                return Err(serde::Error::custom(format!(
+                    "checkpoint {name} has {got} entries, this system expects {want}"
+                )));
+            }
+        }
+        let faults: Option<FaultPlan> = Option::deserialize_value(field("faults")?)?;
+        if faults.is_some() != self.faults.is_some() {
+            return Err(serde::Error::custom(
+                "checkpoint fault plan presence does not match this configuration",
+            ));
+        }
+        self.net.restore_state(field("net")?)?;
+        match (self.telemetry.as_deref_mut(), field("telemetry")?) {
+            (Some(t), v @ Value::Map(_)) => t.restore_state(v)?,
+            (None, Value::Null) => {}
+            (mine, _) => {
+                return Err(serde::Error::custom(format!(
+                    "checkpoint telemetry presence does not match this configuration \
+                     (collector enabled here: {})",
+                    mine.is_some()
+                )));
+            }
+        }
+        self.controllers = controllers;
+        self.onoff = onoff;
+        self.lasers = lasers;
+        self.accounts = accounts;
+        self.current_point = current_point;
+        self.link_epoch = link_epoch;
+        self.faults = faults;
+        self.sleeping = Vec::deserialize_value(field("sleeping")?)?;
+        self.cycle_index = u64::deserialize_value(field("cycle_index")?)?;
+        self.measure_from = Picos::deserialize_value(field("measure_from")?)?;
+        self.latency = Summary::deserialize_value(field("latency")?)?;
+        self.latency_hist = Histogram::deserialize_value(field("latency_hist")?)?;
+        self.packets_injected_measured =
+            u64::deserialize_value(field("packets_injected_measured")?)?;
+        self.packets_dropped_at_measure =
+            u64::deserialize_value(field("packets_dropped_at_measure")?)?;
+        self.flits_dropped_at_measure =
+            u64::deserialize_value(field("flits_dropped_at_measure")?)?;
+        self.flits_corrupted_at_measure =
+            u64::deserialize_value(field("flits_corrupted_at_measure")?)?;
+        self.faults_at_measure = u64::deserialize_value(field("faults_at_measure")?)?;
+        self.bucket_latency = Summary::deserialize_value(field("bucket_latency")?)?;
+        self.bucket_injected = u64::deserialize_value(field("bucket_injected")?)?;
+        self.last_sample_time = Picos::deserialize_value(field("last_sample_time")?)?;
+        self.last_sample_energy_nj = f64::deserialize_value(field("last_sample_energy_nj")?)?;
+        self.latency_series = TimeSeries::deserialize_value(field("latency_series")?)?;
+        self.power_series = TimeSeries::deserialize_value(field("power_series")?)?;
+        self.injection_series = TimeSeries::deserialize_value(field("injection_series")?)?;
+        Ok(())
     }
 }
 

@@ -24,7 +24,8 @@
 //! order exactly, so `--shards 1` and `--shards 2` traces are
 //! byte-identical. See `DESIGN.md` §6d and `OBSERVABILITY.md`.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::VecDeque;
 
 /// Version tag stamped into every trace header. Bump when a field is
 /// added, removed, or changes meaning (see `OBSERVABILITY.md`).
@@ -38,6 +39,16 @@ pub struct TelemetryConfig {
     pub counters: bool,
     /// Record a [`LinkWindowRow`] per link per policy window.
     pub link_series: bool,
+    /// Window-series retention: `Some(n)` keeps the most recent `n`
+    /// policy windows at full resolution and decimates older windows
+    /// with stride doubling (every window, then every 2nd, 4th, …), so
+    /// collector memory stays flat (≤ `2n` windows of rows) at any run
+    /// horizon. Decimated rows are flagged
+    /// ([`LinkWindowRow::decimated`]) in exports. `None` (the default)
+    /// keeps every window, and exports stay byte-identical to every
+    /// pre-retention trace. Retained runs execute on the sequential
+    /// engine (see `CHECKPOINTS.md`).
+    pub retain_windows: Option<u32>,
 }
 
 impl TelemetryConfig {
@@ -46,6 +57,7 @@ impl TelemetryConfig {
         TelemetryConfig {
             counters: true,
             link_series: true,
+            retain_windows: None,
         }
     }
 
@@ -89,6 +101,13 @@ pub struct LinkWindowRow {
     /// Note: for an on/off-gated link this is the breakdown at the
     /// *operating point*, while `power_mw` reflects gating (0 when off).
     pub components_mw: Vec<f64>,
+    /// True when window-series retention
+    /// ([`TelemetryConfig::retain_windows`]) dropped neighboring windows
+    /// around this row: the row is one surviving sample of a decimated
+    /// stretch, not a dense series point. Always false when retention is
+    /// disabled, and the field is then omitted from JSONL exports so
+    /// default-config traces stay byte-identical across versions.
+    pub decimated: bool,
 }
 
 /// End-of-run counters. Every field is a sum over state the simulator
@@ -184,8 +203,12 @@ impl TelemetryReport {
                 .join(",")
         ));
         for r in &self.rows {
+            // The `decimated` marker appears only on decimated rows, so
+            // retention-off traces stay byte-identical to schema 1
+            // traces that predate the field.
+            let decimated = if r.decimated { ",\"decimated\":true" } else { "" };
             out.push_str(&format!(
-                "{{\"kind\":\"window\",\"cycle\":{},\"t_ps\":{},\"link\":{},\"closing\":{},\"lu\":{},\"lu_avg\":{},\"bu\":{},\"rate_gbps\":{},\"power_mw\":{},\"energy_nj\":{},\"components_mw\":[{}]}}\n",
+                "{{\"kind\":\"window\",\"cycle\":{},\"t_ps\":{},\"link\":{},\"closing\":{},\"lu\":{},\"lu_avg\":{},\"bu\":{},\"rate_gbps\":{},\"power_mw\":{},\"energy_nj\":{},\"components_mw\":[{}]{decimated}}}\n",
                 r.cycle,
                 r.t_ps,
                 r.link,
@@ -268,6 +291,89 @@ impl TelemetryReport {
     }
 }
 
+/// Windowed downsampling state for the link series: the most recent
+/// `cap` policy windows are kept at full resolution; windows evicted
+/// from that dense tail are retained with stride doubling (the same
+/// deterministic scheme as [`lumen_stats::SeriesRetention`], applied to
+/// the eviction stream), so total memory is bounded by `2·cap` windows
+/// of rows. Retention is a pure function of the absolute window index,
+/// which makes a retained run split at any checkpoint boundary keep
+/// exactly the rows the unbroken run keeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RowRetention {
+    /// Dense-tail window count; also the decimated region's cap.
+    cap: usize,
+    /// Current eviction-stream keep stride (1, 2, 4, …).
+    stride: u64,
+    /// Windows evicted from the dense tail so far.
+    evicted: u64,
+    /// The dense tail: `(window cycle, that window's rows)`.
+    recent: VecDeque<(u64, Vec<LinkWindowRow>)>,
+    /// Decimated older windows, in eviction order: entry `j` holds the
+    /// window with eviction index `j · stride`.
+    old: Vec<Vec<LinkWindowRow>>,
+}
+
+impl RowRetention {
+    fn new(cap: usize) -> Self {
+        RowRetention {
+            cap: cap.max(2),
+            stride: 1,
+            evicted: 0,
+            recent: VecDeque::new(),
+            old: Vec::new(),
+        }
+    }
+
+    /// Accepts one non-closing row, grouping rows into windows by their
+    /// closing cycle and evicting/decimating as the caps fill.
+    fn push(&mut self, row: LinkWindowRow) {
+        match self.recent.back_mut() {
+            Some((cycle, rows)) if *cycle == row.cycle => rows.push(row),
+            _ => {
+                self.recent.push_back((row.cycle, vec![row]));
+                if self.recent.len() > self.cap {
+                    let (_, window) = self.recent.pop_front().expect("non-empty");
+                    let index = self.evicted;
+                    self.evicted += 1;
+                    if index % self.stride == 0 {
+                        self.old.push(window);
+                        while self.old.len() > self.cap {
+                            // Keep even eviction ordinals; the stride
+                            // doubles, restoring the invariant that
+                            // entry j has eviction index j·stride.
+                            let mut keep = 0;
+                            for j in (0..self.old.len()).step_by(2) {
+                                self.old.swap(keep, j);
+                                keep += 1;
+                            }
+                            self.old.truncate(keep);
+                            self.stride *= 2;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flattens the retained windows into one row list, flagging the
+    /// decimated region when eviction gaps exist (`stride > 1`).
+    fn into_rows(self) -> Vec<LinkWindowRow> {
+        let decimated = self.stride > 1;
+        let mut out = Vec::new();
+        for window in self.old {
+            for mut row in window {
+                row.decimated = decimated;
+                out.push(row);
+            }
+        }
+        for (_, window) in self.recent {
+            out.extend(window);
+        }
+        out
+    }
+}
+
 /// Per-run (or per-shard) recording state. Rows accumulate here during the
 /// run; [`crate::PowerAwareSim::take_telemetry_report`] turns the merged
 /// collector into a [`TelemetryReport`].
@@ -277,10 +383,14 @@ pub(crate) struct TelemetryCollector {
     pub config: TelemetryConfig,
     /// False during warmup; `begin_measurement` flips it on.
     pub active: bool,
-    /// Window rows recorded so far (per-shard local until merge).
+    /// Window rows recorded so far (per-shard local until merge). With
+    /// retention enabled this holds only the closing flush rows; the
+    /// window series lives in `retention`.
     pub rows: Vec<LinkWindowRow>,
     /// Per-link energy at the previous row, for delta computation.
     pub last_energy_nj: Vec<f64>,
+    /// `Some` when [`TelemetryConfig::retain_windows`] bounds the series.
+    pub retention: Option<RowRetention>,
 }
 
 impl TelemetryCollector {
@@ -290,6 +400,7 @@ impl TelemetryCollector {
             active: false,
             rows: Vec::new(),
             last_energy_nj: vec![0.0; links],
+            retention: config.retain_windows.map(|cap| RowRetention::new(cap as usize)),
         }
     }
 
@@ -301,6 +412,75 @@ impl TelemetryCollector {
         for e in &mut self.last_energy_nj {
             *e = 0.0;
         }
+        self.retention = self
+            .config
+            .retain_windows
+            .map(|cap| RowRetention::new(cap as usize));
+    }
+
+    /// Accepts one row, routing non-closing rows through the retention
+    /// window when enabled. Closing flush rows are always kept: the
+    /// energy column must telescope to the measured total.
+    pub fn push_row(&mut self, row: LinkWindowRow) {
+        match &mut self.retention {
+            Some(r) if !row.closing => r.push(row),
+            _ => self.rows.push(row),
+        }
+    }
+
+    /// Rows currently retained (windowed series + closing rows). Used by
+    /// the long-run harness to report live memory occupancy.
+    pub fn retained_rows(&self) -> usize {
+        let windowed = self.retention.as_ref().map_or(0, |r| {
+            r.old.iter().map(Vec::len).sum::<usize>()
+                + r.recent.iter().map(|(_, w)| w.len()).sum::<usize>()
+        });
+        windowed + self.rows.len()
+    }
+
+    /// Drains every retained row, unordered (the report sorts).
+    pub fn take_rows(&mut self) -> Vec<LinkWindowRow> {
+        let mut out = match self.retention.take() {
+            Some(r) => r.into_rows(),
+            None => Vec::new(),
+        };
+        out.append(&mut self.rows);
+        out
+    }
+
+    /// The collector's mutable state as a checkpoint [`Value`]
+    /// (configuration is rebuilt from [`SystemConfig`], not stored).
+    pub fn checkpoint_state(&self) -> Value {
+        Value::Map(vec![
+            ("active".into(), self.active.serialize_value()),
+            ("rows".into(), self.rows.serialize_value()),
+            (
+                "last_energy_nj".into(),
+                self.last_energy_nj.serialize_value(),
+            ),
+            ("retention".into(), self.retention.serialize_value()),
+        ])
+    }
+
+    /// Restores state captured by [`TelemetryCollector::checkpoint_state`].
+    pub fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "TelemetryCollector"))?;
+        let field = |name: &str| serde::map_field(map, name, "TelemetryCollector");
+        let last: Vec<f64> = Vec::deserialize_value(field("last_energy_nj")?)?;
+        if last.len() != self.last_energy_nj.len() {
+            return Err(serde::Error::custom(format!(
+                "checkpoint has {} telemetry links, this network has {}",
+                last.len(),
+                self.last_energy_nj.len()
+            )));
+        }
+        self.active = bool::deserialize_value(field("active")?)?;
+        self.rows = Vec::deserialize_value(field("rows")?)?;
+        self.last_energy_nj = last;
+        self.retention = Option::deserialize_value(field("retention")?)?;
+        Ok(())
     }
 }
 
@@ -327,6 +507,7 @@ mod tests {
                     power_mw: 290.0,
                     energy_nj: 9.2336,
                     components_mw: vec![17.0, 150.0],
+                    decimated: false,
                 },
                 LinkWindowRow {
                     cycle: 400,
@@ -340,6 +521,7 @@ mod tests {
                     power_mw: 60.0,
                     energy_nj: 1.5,
                     components_mw: vec![8.5, 18.75],
+                    decimated: false,
                 },
             ],
             counters: MetricsRegistry {
@@ -402,7 +584,8 @@ mod tests {
         assert!(TelemetryConfig::full().enabled());
         assert!(TelemetryConfig {
             counters: true,
-            link_series: false
+            link_series: false,
+            retain_windows: None,
         }
         .enabled());
     }
@@ -417,5 +600,123 @@ mod tests {
         assert!(c.active);
         assert!(c.rows.is_empty());
         assert_eq!(c.last_energy_nj, vec![0.0; 3]);
+    }
+
+    /// One minimal non-closing row for window `cycle`, link `link`.
+    fn row(cycle: u64, link: u32) -> LinkWindowRow {
+        LinkWindowRow {
+            cycle,
+            t_ps: cycle * 160,
+            link,
+            closing: false,
+            lu: 0.0,
+            lu_avg: 0.0,
+            bu: 0.0,
+            rate_gbps: 10.0,
+            power_mw: 0.0,
+            energy_nj: 0.0,
+            components_mw: Vec::new(),
+            decimated: false,
+        }
+    }
+
+    fn retained_config(cap: u32) -> TelemetryConfig {
+        TelemetryConfig {
+            counters: true,
+            link_series: true,
+            retain_windows: Some(cap),
+        }
+    }
+
+    #[test]
+    fn retention_keeps_everything_below_cap() {
+        let mut c = TelemetryCollector::new(retained_config(8), 2);
+        for w in 1..=6u64 {
+            for l in 0..2 {
+                c.push_row(row(w * 200, l));
+            }
+        }
+        let rows = c.take_rows();
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|r| !r.decimated));
+    }
+
+    #[test]
+    fn retention_bounds_memory_and_marks_decimated() {
+        let cap = 8u32;
+        let mut c = TelemetryCollector::new(retained_config(cap), 1);
+        for w in 1..=1_000u64 {
+            c.push_row(row(w * 200, 0));
+            assert!(
+                c.retained_rows() <= 2 * cap as usize,
+                "window {w}: {} rows retained",
+                c.retained_rows()
+            );
+        }
+        let rows = c.take_rows();
+        assert!(rows.len() <= 2 * cap as usize);
+        // The most recent `cap` windows are dense and unflagged.
+        let dense: Vec<u64> = rows
+            .iter()
+            .filter(|r| !r.decimated)
+            .map(|r| r.cycle)
+            .collect();
+        assert_eq!(
+            dense,
+            (993..=1_000).map(|w| w * 200).collect::<Vec<u64>>()
+        );
+        // Older surviving rows are flagged and strictly ordered.
+        let old: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.decimated)
+            .map(|r| r.cycle)
+            .collect();
+        assert!(!old.is_empty());
+        assert!(old.windows(2).all(|p| p[0] < p[1]));
+        assert!(*old.last().unwrap() < 993 * 200);
+    }
+
+    #[test]
+    fn retention_is_a_function_of_the_window_stream() {
+        // Feeding the same stream through a collector that was
+        // checkpoint-round-tripped midway yields identical survivors —
+        // the property the split-run differential relies on.
+        let feed = |c: &mut TelemetryCollector, range: std::ops::Range<u64>| {
+            for w in range {
+                c.push_row(row(w * 200, 0));
+            }
+        };
+        let mut unbroken = TelemetryCollector::new(retained_config(4), 1);
+        feed(&mut unbroken, 1..300);
+
+        let mut first = TelemetryCollector::new(retained_config(4), 1);
+        feed(&mut first, 1..137);
+        let state = first.checkpoint_state();
+        let mut second = TelemetryCollector::new(retained_config(4), 1);
+        second.restore_state(&state).unwrap();
+        feed(&mut second, 137..300);
+
+        assert_eq!(unbroken.take_rows(), second.take_rows());
+    }
+
+    #[test]
+    fn retention_always_keeps_closing_rows() {
+        let mut c = TelemetryCollector::new(retained_config(2), 1);
+        for w in 1..=50u64 {
+            c.push_row(row(w * 200, 0));
+        }
+        let mut closing = row(51 * 200, 0);
+        closing.closing = true;
+        c.push_row(closing.clone());
+        let rows = c.take_rows();
+        assert!(rows.iter().any(|r| r.closing));
+    }
+
+    #[test]
+    fn collector_restore_rejects_link_count_mismatch() {
+        let c = TelemetryCollector::new(retained_config(4), 3);
+        let state = c.checkpoint_state();
+        let mut other = TelemetryCollector::new(retained_config(4), 5);
+        assert!(other.restore_state(&state).is_err());
     }
 }

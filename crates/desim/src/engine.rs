@@ -183,6 +183,27 @@ impl<M: SimModel> Engine<M> {
         self.model
     }
 
+    /// Removes every pending event — calendar and external inbox alike —
+    /// and returns them in the order this engine would have delivered
+    /// them: nondecreasing time, inbox entries winning timestamp ties
+    /// against calendar entries (the [`Engine::push_external`] contract),
+    /// FIFO within each. The checkpoint machinery uses this to capture a
+    /// mid-run engine; both stores are empty afterwards, while `now` and
+    /// `processed` are untouched.
+    pub fn drain_pending(&mut self) -> Vec<(Picos, M::Event)> {
+        let mut out = Vec::with_capacity(self.queue.len() + self.inbox.len());
+        // Two sorted runs: the inbox by (time, push seq), then the
+        // calendar by (time, seq). A stable sort by time alone merges
+        // them while keeping inbox entries ahead at equal timestamps
+        // and preserving FIFO order inside each run.
+        while let Some(entry) = self.inbox.pop() {
+            out.push((entry.at, entry.event));
+        }
+        out.extend(self.queue.drain_pending());
+        out.sort_by_key(|&(at, _)| at);
+        out
+    }
+
     /// Caps the total number of events this engine will ever process; a
     /// safety valve against runaway self-scheduling models.
     pub fn set_event_budget(&mut self, budget: u64) {

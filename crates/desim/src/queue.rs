@@ -432,6 +432,37 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
+    /// Removes **every** pending event and returns them in delivery
+    /// order — nondecreasing `(time, seq)`, exactly the sequence
+    /// [`EventQueue::pop`] would have produced. The checkpoint machinery
+    /// uses this to capture a mid-run calendar (wheel lanes, overflow
+    /// heap, and packed sort keys alike collapse to one sorted list);
+    /// it is a cold path, so the `O(n log n)` drain cost is irrelevant.
+    ///
+    /// The queue is empty afterwards, but `scheduled_total` (and the
+    /// internal sequence counter) keep counting from where they were.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lumen_desim::{EventQueue, Picos};
+    /// let mut q = EventQueue::new();
+    /// q.schedule(Picos::from_ns(5), "late");
+    /// q.schedule(Picos::from_ns(1), "early");
+    /// assert_eq!(
+    ///     q.drain_pending(),
+    ///     vec![(Picos::from_ns(1), "early"), (Picos::from_ns(5), "late")],
+    /// );
+    /// assert!(q.is_empty());
+    /// ```
+    pub fn drain_pending(&mut self) -> Vec<(Picos, E)> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
         match &mut self.backend {

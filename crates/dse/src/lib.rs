@@ -32,7 +32,7 @@
 //! byte-identical report at any thread or shard count.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod pareto;
 pub mod report;
@@ -69,6 +69,16 @@ pub enum DseWorkload {
 }
 
 impl DseWorkload {
+    /// Whether a quick-fidelity run of this workload is a *prefix* of the
+    /// full-fidelity run, so the warm-start path ([`DseConfig::warm_start`])
+    /// can checkpoint the quick run and resume it to the full horizon.
+    /// [`DseWorkload::HotspotCompressed`] is not: its phase schedule is a
+    /// function of the measure horizon, so the two fidelities drive
+    /// different traffic and survivors must re-run cold.
+    pub fn warm_startable(&self) -> bool {
+        !matches!(self, DseWorkload::HotspotCompressed)
+    }
+
     /// The executable workload for a given measure horizon.
     pub fn workload(&self, noc: &NocConfig, measure_cycles: u64) -> Workload {
         let size = PacketSize::Fixed(5);
@@ -128,6 +138,20 @@ pub struct DseConfig {
     /// Quick-fidelity divisor (horizons shrink by this, floored at the
     /// shared bench minimum of 2000 cycles).
     pub quick_divisor: u64,
+    /// Warm-start the full-fidelity pass from quick-run checkpoints.
+    ///
+    /// When set, quick trials run the **full** warmup followed by the
+    /// quick measure window and save a `lumen-ckpt/1` snapshot at their
+    /// end; survivors *resume* those snapshots and only simulate the
+    /// remaining `measure - quick_measure` cycles instead of re-running
+    /// warmup + full measure from scratch. Because resume is
+    /// bit-identical (see CHECKPOINTS.md), a warm-started survivor's
+    /// full-fidelity objectives equal the unbroken full run's exactly;
+    /// only the quick cohort's numbers shift (they measure after the
+    /// full warmup). Workloads whose quick run is not a prefix of the
+    /// full run ([`DseWorkload::warm_startable`]) fall back to cold
+    /// full re-runs.
+    pub warm_start: bool,
 }
 
 impl Default for DseConfig {
@@ -139,6 +163,7 @@ impl Default for DseConfig {
             min_delivery: 0.99,
             sampler_seed: 7,
             quick_divisor: 10,
+            warm_start: false,
         }
     }
 }
@@ -209,6 +234,20 @@ pub fn run_scenario(
     dse.validate();
     let space = SearchSpace::paper_policy();
     let (quick_warmup, quick_measure) = dse.quick_horizons(scenario);
+    // Warm start only when the quick run is a strict prefix of the full
+    // run: prefix-compatible workload, and the quick measure window (the
+    // checkpoint cycle) inside the full horizon.
+    let warm = dse.warm_start
+        && scenario.workload.warm_startable()
+        && quick_measure <= scenario.measure_cycles;
+    let quick_warmup = if warm { scenario.warmup_cycles } else { quick_warmup };
+    let warm_ckpt = |trial: usize| {
+        std::env::temp_dir().join(format!(
+            "lumen-dse-warm-{}-{}-{trial}.ckpt",
+            std::process::id(),
+            scenario.group
+        ))
+    };
     let base_seed = scenario.config.seed;
     let point_seed = derive_seed(base_seed, scenario.group);
 
@@ -256,13 +295,23 @@ pub fn run_scenario(
             .iter()
             .enumerate()
             .map(|(k, draw)| {
-                build_point(
+                let trial = evaluated.len() + k;
+                let mut point = build_point(
                     draw,
                     true,
                     quick_warmup,
                     quick_measure,
-                    format!("{} trial {}", scenario.name, evaluated.len() + k),
-                )
+                    format!("{} trial {trial}", scenario.name),
+                );
+                if warm {
+                    // Snapshot at the quick run's end; survivors resume
+                    // from here instead of re-running warmup + measure.
+                    point.experiment = point
+                        .experiment
+                        .clone()
+                        .save_at(quick_warmup + quick_measure, warm_ckpt(trial));
+                }
+                point
             })
             .collect();
         progress(&format!(
@@ -298,25 +347,36 @@ pub fn run_scenario(
         .take(dse.survivors)
         .collect();
 
-    // Full-fidelity re-evaluation of the survivors.
+    // Full-fidelity re-evaluation of the survivors (resumed from their
+    // quick checkpoints when warm-starting).
     let full_points: Vec<Point> = survivors
         .iter()
         .map(|&i| {
-            build_point(
+            let mut point = build_point(
                 &evaluated[i].draw,
                 true,
                 scenario.warmup_cycles,
                 scenario.measure_cycles,
                 format!("{} full {}", scenario.name, i),
-            )
+            );
+            if warm {
+                point.experiment = point.experiment.clone().resume(warm_ckpt(i));
+            }
+            point
         })
         .collect();
     progress(&format!(
-        "{}: full fidelity ({} survivors)",
+        "{}: full fidelity ({} survivors{})",
         scenario.name,
-        survivors.len()
+        survivors.len(),
+        if warm { ", warm-started" } else { "" }
     ));
     let full_results = executor.run(&full_points);
+    if warm {
+        for trial in 0..evaluated.len() {
+            std::fs::remove_file(warm_ckpt(trial)).ok();
+        }
+    }
     let full_obj: Vec<Option<Objectives>> = full_results
         .iter()
         .map(|pr| pr.run_result().and_then(|r| r.objectives().ok()))
@@ -439,6 +499,77 @@ mod tests {
         assert!((r.baseline_non_pa.full.normalized_power - 1.0).abs() < 0.2);
         // Table 1 saves real power against it.
         assert!(r.table1.full.normalized_power < r.baseline_non_pa.full.normalized_power);
+    }
+
+    #[test]
+    fn warm_started_survivors_match_unbroken_full_runs() {
+        let scenario = tiny_scenario(9);
+        let dse = DseConfig {
+            warm_start: true,
+            ..tiny_dse()
+        };
+        let warm = run_scenario(&scenario, &dse, &Executor::new(2), |_| {});
+        // Every warm-started full-fidelity point must be bit-identical to
+        // an unbroken full run of the same knobs — warm start is pure
+        // compute savings, never a different experiment.
+        let mut checked = 0;
+        for p in warm.points.iter().filter(|p| p.fidelity == "full") {
+            let mut config = scenario.config.clone();
+            config.power_aware = true;
+            p.params.apply(&mut config);
+            let exp = Experiment::new(config)
+                .warmup_cycles(scenario.warmup_cycles)
+                .measure_cycles(scenario.measure_cycles);
+            let workload = scenario
+                .workload
+                .workload(&scenario.config.noc, scenario.measure_cycles);
+            let r = Point::new("unbroken", exp, workload)
+                .in_group(scenario.group)
+                .run_at_index(0);
+            // Cold, unless LUMEN_TEST_CHECKPOINT=1 split it in-memory.
+            let env_split = std::env::var("LUMEN_TEST_CHECKPOINT").is_ok_and(|v| v == "1");
+            assert_eq!(r.resumed, env_split);
+            let o = r.objectives().expect("unbroken run usable");
+            assert_eq!(
+                p.objectives.normalized_power.to_bits(),
+                o.normalized_power.to_bits()
+            );
+            assert_eq!(
+                p.objectives.avg_latency_cycles.to_bits(),
+                o.avg_latency_cycles.to_bits()
+            );
+            assert_eq!(
+                p.objectives.p99_latency_cycles.to_bits(),
+                o.p99_latency_cycles.to_bits()
+            );
+            assert_eq!(
+                p.objectives.delivery_ratio.to_bits(),
+                o.delivery_ratio.to_bits()
+            );
+            checked += 1;
+        }
+        assert!(checked >= 1, "no full-fidelity survivors to check");
+    }
+
+    #[test]
+    fn warm_start_falls_back_cold_for_horizon_shaped_workloads() {
+        let mut scenario = tiny_scenario(11);
+        scenario.workload = DseWorkload::HotspotCompressed;
+        // The compressed hotspot schedule needs a longer horizon than the
+        // uniform tiny scenario before any traffic drains on the test mesh.
+        scenario.measure_cycles = 24_000;
+        assert!(!scenario.workload.warm_startable());
+        let dse = DseConfig {
+            warm_start: true,
+            ..tiny_dse()
+        };
+        let warm = run_scenario(&scenario, &dse, &Executor::new(2), |_| {});
+        let cold = run_scenario(&scenario, &tiny_dse(), &Executor::new(2), |_| {});
+        assert_eq!(
+            warm.to_json(),
+            cold.to_json(),
+            "non-prefix workloads must ignore warm_start entirely"
+        );
     }
 
     #[test]

@@ -2,12 +2,13 @@
 
 use crate::flit::Flit;
 use crate::ids::VcId;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One router input port's buffering: a fixed-capacity FIFO per virtual
 /// channel. Capacity is enforced — an overflow indicates a credit
 /// accounting bug upstream, so it panics rather than dropping flits.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InputBuffer {
     queues: Vec<VecDeque<Flit>>,
     depth_per_vc: usize,

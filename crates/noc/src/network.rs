@@ -19,6 +19,7 @@ use crate::router::Router;
 use crate::routing::RoutingAlgorithm;
 use crate::topology::Topology;
 use lumen_desim::Picos;
+use serde::{Deserialize, Serialize};
 
 /// An externally-visible consequence of stepping the network; the driver
 /// schedules each at its `at` time.
@@ -486,6 +487,64 @@ impl Network {
                 self.links[l].clone_from(&donor.links[l]);
             }
         }
+    }
+
+    /// Serializes the network's *mutable* state for a checkpoint: routers,
+    /// source/sink nodes, links, and the tick counter. Everything else —
+    /// topology wiring, endpoint tables, the route table — is a pure
+    /// function of the configuration and is rebuilt by the constructor at
+    /// resume (see `CHECKPOINTS.md` for the serialized-vs-recomputed
+    /// contract).
+    pub fn checkpoint_state(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("routers".into(), self.routers.serialize_value()),
+            ("sources".into(), self.sources.serialize_value()),
+            ("sinks".into(), self.sinks.serialize_value()),
+            ("links".into(), self.links.serialize_value()),
+            ("ticks".into(), self.ticks.serialize_value()),
+        ])
+    }
+
+    /// Restores mutable state captured by [`Network::checkpoint_state`]
+    /// into a freshly constructed network of the *same configuration*.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is malformed or the component counts do not
+    /// match this network's topology (a checkpoint from a different
+    /// configuration).
+    pub fn restore_state(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "Network"))?;
+        let field = |name: &str| serde::map_field(map, name, "Network");
+        let routers: Vec<Router> = Vec::deserialize_value(field("routers")?)?;
+        let sources: Vec<SourceNode> = Vec::deserialize_value(field("sources")?)?;
+        let sinks: Vec<SinkNode> = Vec::deserialize_value(field("sinks")?)?;
+        let links: Vec<Link> = Vec::deserialize_value(field("links")?)?;
+        let ticks = u64::deserialize_value(field("ticks")?)?;
+        if routers.len() != self.routers.len()
+            || sources.len() != self.sources.len()
+            || sinks.len() != self.sinks.len()
+            || links.len() != self.links.len()
+        {
+            return Err(serde::Error::custom(format!(
+                "checkpoint topology mismatch: {} routers / {} nodes / {} links \
+                 vs configured {} / {} / {}",
+                routers.len(),
+                sources.len(),
+                links.len(),
+                self.routers.len(),
+                self.sources.len(),
+                self.links.len()
+            )));
+        }
+        self.routers = routers;
+        self.sources = sources;
+        self.sinks = sinks;
+        self.links = links;
+        self.ticks = ticks;
+        Ok(())
     }
 
     /// Total flits queued at source nodes (offered-load backlog).

@@ -12,6 +12,7 @@ use crate::ids::{LinkId, NodeId, PacketId, VcId};
 use crate::link::Link;
 use crate::network::Effect;
 use lumen_desim::Picos;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -44,7 +45,7 @@ impl Hasher for PacketIdHasher {
 type PacketMap<V> = HashMap<PacketId, V, BuildHasherDefault<PacketIdHasher>>;
 
 /// The traffic-source half of a processing node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SourceNode {
     id: NodeId,
     inj_link: LinkId,
@@ -157,7 +158,7 @@ impl SourceNode {
 }
 
 /// Reassembly state for one packet mid-flight at a sink.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PartialPacket {
     /// Flits of the packet seen so far.
     seen: u32,
@@ -288,6 +289,72 @@ impl SinkNode {
     /// conservation auditor).
     pub fn partial_flits(&self) -> u64 {
         self.in_flight.values().map(|p| u64::from(p.seen)).sum()
+    }
+}
+
+// Hand-written: the vendored serde has no HashMap impl, and hash-map
+// iteration order must not leak into serialized bytes anyway (checkpoints
+// of identical states must be byte-identical). Mid-flight packets are
+// emitted as a sequence sorted by packet id.
+impl Serialize for SinkNode {
+    fn serialize_value(&self) -> Value {
+        let mut in_flight: Vec<(u64, &PartialPacket)> =
+            self.in_flight.iter().map(|(k, v)| (k.0, v)).collect();
+        in_flight.sort_unstable_by_key(|&(id, _)| id);
+        let in_flight = Value::Seq(
+            in_flight
+                .into_iter()
+                .map(|(id, p)| (id, p.seen, p.poisoned).serialize_value())
+                .collect(),
+        );
+        Value::Map(vec![
+            ("id".into(), self.id.serialize_value()),
+            ("ej_link".into(), self.ej_link.serialize_value()),
+            ("in_flight".into(), in_flight),
+            (
+                "packets_received".into(),
+                self.packets_received.serialize_value(),
+            ),
+            ("flits_received".into(), self.flits_received.serialize_value()),
+            (
+                "flits_delivered".into(),
+                self.flits_delivered.serialize_value(),
+            ),
+            (
+                "packets_dropped".into(),
+                self.packets_dropped.serialize_value(),
+            ),
+            ("flits_dropped".into(), self.flits_dropped.serialize_value()),
+            (
+                "flits_corrupted".into(),
+                self.flits_corrupted.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for SinkNode {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "SinkNode"))?;
+        let field = |name: &str| serde::map_field(map, name, "SinkNode");
+        let entries: Vec<(u64, u32, bool)> = Vec::deserialize_value(field("in_flight")?)?;
+        let mut in_flight = PacketMap::default();
+        for (id, seen, poisoned) in entries {
+            in_flight.insert(PacketId(id), PartialPacket { seen, poisoned });
+        }
+        Ok(SinkNode {
+            id: NodeId::deserialize_value(field("id")?)?,
+            ej_link: LinkId::deserialize_value(field("ej_link")?)?,
+            in_flight,
+            packets_received: u64::deserialize_value(field("packets_received")?)?,
+            flits_received: u64::deserialize_value(field("flits_received")?)?,
+            flits_delivered: u64::deserialize_value(field("flits_delivered")?)?,
+            packets_dropped: u64::deserialize_value(field("packets_dropped")?)?,
+            flits_dropped: u64::deserialize_value(field("flits_dropped")?)?,
+            flits_corrupted: u64::deserialize_value(field("flits_corrupted")?)?,
+        })
     }
 }
 

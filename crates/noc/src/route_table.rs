@@ -1,6 +1,6 @@
 //! Precomputed flat routing tables.
 //!
-//! PR 6's [`Topology`](crate::topology::Topology) trait made arbitrary
+//! PR 6's [`Topology`] trait made arbitrary
 //! fabrics possible, but it left a dispatched `route_inter` call — per-hop
 //! coordinate arithmetic plus a candidate-`Vec` rebuild — inside the RC
 //! stage of every head flit. Routing is a pure function of

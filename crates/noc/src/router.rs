@@ -27,9 +27,10 @@ use crate::network::Effect;
 use crate::route_table::{RouteSet, RouteTable};
 use crate::routing::{route_candidates, RoutingAlgorithm};
 use lumen_desim::Picos;
+use serde::{Deserialize, Serialize};
 
 /// Per-input-VC pipeline state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VcState {
     /// No packet in flight; awaiting a head flit.
     Idle,
@@ -48,7 +49,7 @@ pub enum VcState {
 }
 
 /// One input port: buffer, per-VC state, and the link that feeds it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InputPort {
     /// The per-VC flit FIFOs.
     pub buffer: InputBuffer,
@@ -77,7 +78,7 @@ impl InputPort {
 }
 
 /// One output port: downstream credit state, VC ownership, and arbiters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OutputPort {
     /// The outgoing link (None on mesh-edge ports).
     pub link: Option<LinkId>,
@@ -105,7 +106,7 @@ impl OutputPort {
 /// A bitset over the router's `ports × vcs` input-VC slots, iterated in
 /// ascending slot order — the same `(port, vc)` order the pipeline's full
 /// scans used, so replacing a scan with a set walk is order-identical.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct SlotSet {
     words: Vec<u64>,
 }
@@ -134,7 +135,7 @@ impl SlotSet {
 }
 
 /// A rack's communication router.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Router {
     id: RouterId,
     routing: RoutingAlgorithm,

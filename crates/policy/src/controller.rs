@@ -101,7 +101,7 @@ impl Transition {
 /// assert_eq!(c.last_predicted(), 0.0);
 /// assert!(c.in_transition());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkPolicyController {
     ladder: BitRateLadder,
     thresholds: ThresholdTable,

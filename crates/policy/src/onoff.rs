@@ -91,7 +91,7 @@ pub enum GateAction {
 }
 
 /// Per-link on/off policy controller.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnOffController {
     config: OnOffConfig,
     wake_penalty: Picos,

@@ -5,7 +5,9 @@
 //!
 //! - [`summary::Summary`] — streaming mean/min/max/variance.
 //! - [`histogram::Histogram`] — fixed-width bucket histogram with
-//!   percentile queries, used for packet-latency distributions.
+//!   percentile queries, used for packet-latency distributions. Already
+//!   streaming: memory is fixed by the bucket count, independent of how
+//!   many samples are recorded.
 //! - [`energy::EnergyAccount`] — exact integration of piecewise-constant
 //!   power over simulation time; the basis of every normalized-power
 //!   number (paper Figs. 5(b,e,h), 6(d), 7(b,d,f), Table 3).
@@ -13,11 +15,14 @@
 //!   paper's link policy controller uses over per-window utilization
 //!   statistics (Eq. 11).
 //! - [`timeseries::TimeSeries`] — timestamped samples for the
-//!   latency/power-over-time plots (Figs. 6 and 7).
+//!   latency/power-over-time plots (Figs. 6 and 7), with optional
+//!   bounded-memory retention
+//!   ([`TimeSeries::with_retention`](timeseries::TimeSeries::with_retention))
+//!   for long-horizon runs.
 //! - [`csv`] — tiny CSV emission for the benchmark harnesses.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod confidence;
 pub mod csv;
@@ -32,4 +37,4 @@ pub use energy::EnergyAccount;
 pub use histogram::Histogram;
 pub use sliding::SlidingWindow;
 pub use summary::Summary;
-pub use timeseries::TimeSeries;
+pub use timeseries::{SeriesRetention, TimeSeries};

@@ -185,6 +185,7 @@ fn exponential(rng: &mut Rng, mean: f64) -> f64 {
 
 /// A client's flow gate: ON/OFF state and when the current sojourn ends.
 #[derive(Debug, Clone, Copy)]
+#[derive(Serialize, Deserialize)]
 struct Gate {
     on: bool,
     until: u64,
@@ -193,7 +194,7 @@ struct Gate {
 /// A response committed at request time, due `service_cycles` later.
 /// Entries are pushed with monotonically non-decreasing due cycles, so
 /// the queue front is always the earliest.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PendingResponse {
     due: u64,
     server: NodeId,
@@ -349,6 +350,37 @@ impl TrafficSource for DatacenterSource {
 
     fn generated(&self) -> u64 {
         self.generated
+    }
+
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Map(vec![
+            ("rng".into(), self.rng.serialize_value()),
+            ("gates".into(), self.gates.serialize_value()),
+            ("pending".into(), self.pending.serialize_value()),
+            ("next_id".into(), self.next_id.serialize_value()),
+            ("generated".into(), self.generated.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "DatacenterSource"))?;
+        let field = |name: &str| serde::map_field(map, name, "DatacenterSource");
+        let gates: Vec<Gate> = Vec::deserialize_value(field("gates")?)?;
+        if gates.len() != self.gates.len() {
+            return Err(serde::Error::custom(format!(
+                "checkpoint has {} client gates, this network has {}",
+                gates.len(),
+                self.gates.len()
+            )));
+        }
+        self.rng = Rng::deserialize_value(field("rng")?)?;
+        self.gates = gates;
+        self.pending = VecDeque::deserialize_value(field("pending")?)?;
+        self.next_id = u64::deserialize_value(field("next_id")?)?;
+        self.generated = u64::deserialize_value(field("generated")?)?;
+        Ok(())
     }
 }
 

@@ -88,7 +88,7 @@ fn pareto(rng: &mut Rng, alpha: f64, mean: f64) -> f64 {
     xm / u.powf(1.0 / alpha)
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct NodeState {
     on: bool,
     /// Cycle at which the current sojourn ends.
@@ -196,6 +196,35 @@ impl TrafficSource for SelfSimilarSource {
 
     fn generated(&self) -> u64 {
         self.generated
+    }
+
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Map(vec![
+            ("rng".into(), self.rng.serialize_value()),
+            ("states".into(), self.states.serialize_value()),
+            ("next_id".into(), self.next_id.serialize_value()),
+            ("generated".into(), self.generated.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "SelfSimilarSource"))?;
+        let field = |name: &str| serde::map_field(map, name, "SelfSimilarSource");
+        let states: Vec<NodeState> = Vec::deserialize_value(field("states")?)?;
+        if states.len() != self.states.len() {
+            return Err(serde::Error::custom(format!(
+                "checkpoint has {} node states, this network has {}",
+                states.len(),
+                self.states.len()
+            )));
+        }
+        self.rng = Rng::deserialize_value(field("rng")?)?;
+        self.states = states;
+        self.next_id = u64::deserialize_value(field("next_id")?)?;
+        self.generated = u64::deserialize_value(field("generated")?)?;
+        Ok(())
     }
 }
 

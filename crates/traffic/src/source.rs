@@ -54,6 +54,30 @@ pub trait TrafficSource {
 
     /// Packets generated so far.
     fn generated(&self) -> u64;
+
+    /// Serializes the source's *mutable* state — RNG position, counters,
+    /// replay cursors, per-node gating — for a checkpoint. Returns `None`
+    /// if this source kind does not support checkpointing (the default).
+    /// Static parameters (pattern, profile, network shape) are not
+    /// captured: resume rebuilds the source from the same experiment
+    /// description and overwrites only this state.
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`TrafficSource::checkpoint_state`]
+    /// into a freshly constructed source of identical static parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is malformed or this source kind is not
+    /// checkpointable.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Err(serde::Error::custom(
+            "this traffic source is not checkpointable",
+        ))
+    }
 }
 
 /// Synthetic traffic: a spatial [`Pattern`] × a temporal [`RateProfile`]
@@ -130,6 +154,25 @@ impl TrafficSource for SyntheticSource {
     fn generated(&self) -> u64 {
         self.generated
     }
+
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Map(vec![
+            ("rng".into(), self.rng.serialize_value()),
+            ("next_id".into(), self.next_id.serialize_value()),
+            ("generated".into(), self.generated.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "SyntheticSource"))?;
+        let field = |name: &str| serde::map_field(map, name, "SyntheticSource");
+        self.rng = Rng::deserialize_value(field("rng")?)?;
+        self.next_id = u64::deserialize_value(field("next_id")?)?;
+        self.generated = u64::deserialize_value(field("generated")?)?;
+        Ok(())
+    }
 }
 
 /// Replays a recorded [`Trace`] (packets sorted by creation time).
@@ -190,6 +233,32 @@ impl TrafficSource for TraceSource {
 
     fn generated(&self) -> u64 {
         self.generated
+    }
+
+    fn checkpoint_state(&self) -> Option<serde::Value> {
+        Some(serde::Value::Map(vec![
+            ("cursor".into(), self.cursor.serialize_value()),
+            ("next_id".into(), self.next_id.serialize_value()),
+            ("generated".into(), self.generated.serialize_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let map = state
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "TraceSource"))?;
+        let field = |name: &str| serde::map_field(map, name, "TraceSource");
+        let cursor = usize::deserialize_value(field("cursor")?)?;
+        if cursor > self.records.len() {
+            return Err(serde::Error::custom(format!(
+                "trace cursor {cursor} past end of {}-record trace",
+                self.records.len()
+            )));
+        }
+        self.cursor = cursor;
+        self.next_id = u64::deserialize_value(field("next_id")?)?;
+        self.generated = u64::deserialize_value(field("generated")?)?;
+        Ok(())
     }
 }
 

@@ -202,6 +202,7 @@ fn counters_only_mode_skips_series() {
     let cfg = TelemetryConfig {
         counters: true,
         link_series: false,
+        retain_windows: None,
     };
     let r = experiment(Mode::Dvs, 47)
         .telemetry(cfg)
